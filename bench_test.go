@@ -1,0 +1,229 @@
+// Benchmarks regenerating every table and figure of the paper at Tiny
+// scale (two small topologies, ~12 scenarios) so `go test -bench .`
+// finishes in minutes on one core. The flexile-exp command runs the same
+// harnesses at small/paper scale. Reported custom metrics surface each
+// figure's headline number so benchmark output doubles as a results table.
+package flexile_test
+
+import (
+	"testing"
+
+	"flexile"
+	"flexile/internal/experiments"
+)
+
+func tinyCfg() experiments.Config {
+	return experiments.Config{Scale: experiments.Tiny, Seed: 1}
+}
+
+// BenchmarkFig1Motivation regenerates the §3 motivating example
+// (Figs. 1-4): every scheme on the triangle.
+func BenchmarkFig1Motivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig1Motivation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.PercLoss["Flexile"], "flexile-loss-%")
+		b.ReportMetric(100*res.PercLoss["SMORE"], "smore-loss-%")
+	}
+}
+
+// BenchmarkFig5 regenerates the per-flow percentile-loss CDF (IBM).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(tinyCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Worst["Flexile"], "flexile-worst-%")
+		b.ReportMetric(100*res.Worst["Teavar"], "teavar-worst-%")
+	}
+}
+
+// BenchmarkFig6 regenerates the ScenLoss-penalty-vs-optimal CDF (IBM).
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(tinyCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.PenaltyAt["Flexile"][0], "flexile-pen999-%")
+		b.ReportMetric(100*res.PenaltyAt["Teavar"][0], "teavar-pen999-%")
+	}
+}
+
+// BenchmarkFig9 regenerates the emulation-testbed comparison (one run per
+// scheme at benchmark scale; the CLI uses five).
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(tinyCfg(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.PCC, "model-emu-pcc")
+		b.ReportMetric(100*res.MaxAbsDiff, "max-diff-%")
+	}
+}
+
+// BenchmarkFig10 regenerates the Flexile-vs-SWAN two-class comparison.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(tinyCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Medians["Flexile"], "flexile-med-%")
+		b.ReportMetric(100*res.Medians["SWAN-Maxmin"], "swanmm-med-%")
+	}
+}
+
+// BenchmarkFig11 regenerates the Teavar/CVaR-variant comparison.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(tinyCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Medians["Flexile"], "flexile-med-%")
+		b.ReportMetric(100*res.Medians["Teavar"], "teavar-med-%")
+	}
+}
+
+// BenchmarkFig12 regenerates the richly-connected comparison and the §6.2
+// headline reductions (paper: 46% vs SMORE, 63% vs Teavar).
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12(tinyCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MedianReductionVsSMORE, "red-vs-smore-%")
+		b.ReportMetric(res.MedianReductionVsTeavar, "red-vs-teavar-%")
+	}
+}
+
+// BenchmarkFig13 regenerates the per-scenario worst-flow analysis (Sprint,
+// two classes).
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig13(tinyCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.LowLossAt999["Flexile"], "flexile-low999-%")
+	}
+}
+
+// BenchmarkFig14 regenerates the per-iteration optimality-gap convergence.
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig14(tinyCfg(), 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.FracOptimalAtIter) > 0 {
+			b.ReportMetric(100*res.FracOptimalAtIter[0], "opt-at-iter1-%")
+			b.ReportMetric(100*res.FracOptimalAtIter[4], "opt-at-iter5-%")
+		}
+	}
+}
+
+// BenchmarkFig15 regenerates the solving-time comparison (Flexile
+// decomposition vs direct IP).
+func BenchmarkFig15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig15(tinyCfg(), 150)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var fx, ip float64
+		for i := range res.Topologies {
+			fx += res.FlexileT[i].Seconds()
+			ip += res.IPT[i].Seconds()
+		}
+		b.ReportMetric(fx, "flexile-total-s")
+		b.ReportMetric(ip, "ip-total-s")
+	}
+}
+
+// BenchmarkFig18 regenerates the appendix max-scale experiment.
+func BenchmarkFig18(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig18(tinyCfg(), []string{"Sprint"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MaxScale["Flexile"][0], "flexile-scale")
+		b.ReportMetric(res.MaxScale["SWAN-Maxmin"][0], "swanmm-scale")
+	}
+}
+
+// BenchmarkTable2 regenerates the topology inventory (all 20 topologies).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table2()
+		for _, info := range res.Rows {
+			tp, err := flexile.LoadTopology(info.Name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tp.G.NumNodes() != info.Nodes || tp.G.NumEdges() != info.Edges {
+				b.Fatalf("%s shape mismatch", info.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkOfflineDecomposition isolates the offline phase (the paper's
+// Fig. 15 focus) on one mid-size topology.
+func BenchmarkOfflineDecomposition(b *testing.B) {
+	inst, err := tinyCfg().SingleClass("IBM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flexile.Design(inst, flexile.DesignOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlineAllocation isolates the online phase: one failure
+// reaction, the latency that §4.3 keeps comparable to SWAN.
+func BenchmarkOnlineAllocation(b *testing.B) {
+	inst, err := tinyCfg().SingleClass("IBM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	design, err := flexile.Design(inst, flexile.DesignOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := 1 + i%(len(inst.Scenarios)-1)
+		if _, _, err := flexile.AllocateOnFailure(inst, design, q, flexile.DesignOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPacketEmulation isolates the packet engine on one scenario.
+func BenchmarkPacketEmulation(b *testing.B) {
+	inst, err := tinyCfg().SingleClass("Sprint")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := flexile.NewSMORE().Route(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flexile.EmulatePacket(inst, r, flexile.EmulationOptions{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command flexile-exp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	flexile-exp -fig 1             # §3 motivating example (Figs. 1-4)
+//	flexile-exp -fig 5 -scale small
+//	flexile-exp -fig all -scale tiny
+//	flexile-exp -fig 9 -runs 5     # emulation comparison
+//	flexile-exp -fig gamma -topo Quest
+//
+// Figures: 1, 5, 6, 9, 10, 11, 12, 13, 14, 15, 18, gamma, table2, all.
+// Scales: tiny (seconds-minutes), small (minutes), paper (§6 full, hours).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"flexile/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate (1,5,6,9,10,11,12,13,14,15,18,gamma,table2,all)")
+	scale := flag.String("scale", "small", "compute scale: tiny, small, paper")
+	seed := flag.Int64("seed", 1, "base seed")
+	runs := flag.Int("runs", 5, "emulation runs for fig 9")
+	topoName := flag.String("topo", "Quest", "topology for -fig gamma")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch strings.ToLower(*scale) {
+	case "tiny":
+		sc = experiments.Tiny
+	case "small":
+		sc = experiments.Small
+	case "paper":
+		sc = experiments.Paper
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scale))
+	}
+	cfg := experiments.Config{Scale: sc, Seed: *seed}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	type job struct {
+		key string
+		run func() (interface{ Render() string }, error)
+	}
+	jobs := []job{
+		{"table2", func() (interface{ Render() string }, error) { return experiments.Table2(), nil }},
+		{"1", func() (interface{ Render() string }, error) { return experiments.Fig1Motivation() }},
+		{"5", func() (interface{ Render() string }, error) { return experiments.Fig5(cfg) }},
+		{"6", func() (interface{ Render() string }, error) { return experiments.Fig6(cfg) }},
+		{"9", func() (interface{ Render() string }, error) { return experiments.Fig9(cfg, *runs) }},
+		{"10", func() (interface{ Render() string }, error) { return experiments.Fig10(cfg) }},
+		{"11", func() (interface{ Render() string }, error) { return experiments.Fig11(cfg) }},
+		{"12", func() (interface{ Render() string }, error) { return experiments.Fig12(cfg) }},
+		{"13", func() (interface{ Render() string }, error) { return experiments.Fig13(cfg) }},
+		{"14", func() (interface{ Render() string }, error) { return experiments.Fig14(cfg, 5) }},
+		{"15", func() (interface{ Render() string }, error) { return experiments.Fig15(cfg, 0) }},
+		{"18", func() (interface{ Render() string }, error) { return experiments.Fig18(cfg, nil) }},
+		{"gamma", func() (interface{ Render() string }, error) { return experiments.GammaVariant(cfg, *topoName, 0.05) }},
+	}
+	for _, j := range jobs {
+		if !all && !want[j.key] {
+			continue
+		}
+		start := time.Now()
+		res, err := j.run()
+		if err != nil {
+			fatal(fmt.Errorf("fig %s: %w", j.key, err))
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("  [%v at %s scale]\n\n", time.Since(start).Round(time.Millisecond), sc)
+		ran++
+	}
+	if ran == 0 {
+		fatal(fmt.Errorf("no figure matched %q", *fig))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flexile-exp:", err)
+	os.Exit(1)
+}

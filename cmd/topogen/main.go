@@ -1,0 +1,83 @@
+// Command topogen lists and exports the built-in evaluation topologies
+// (the paper's Table 2).
+//
+// Usage:
+//
+//	topogen -list                 # print the Table-2 inventory
+//	topogen -dump IBM             # write the IBM topology in text format
+//	topogen -dump IBM -rich       # ... after the two-sublink transform
+//	topogen -gen 24,40 -seed 7    # generate a custom 24-node 40-edge graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"flexile/internal/topo"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the built-in topologies")
+	dump := flag.String("dump", "", "write the named topology in text format to stdout")
+	rich := flag.Bool("rich", false, "apply the richly-connected (two-sublink) transform before dumping")
+	gen := flag.String("gen", "", "generate a custom topology: \"nodes,edges\"")
+	seed := flag.Int64("seed", 1, "generator seed for -gen")
+	stats := flag.String("stats", "", "print structural statistics for the named topology (or \"all\")")
+	flag.Parse()
+
+	switch {
+	case *stats != "":
+		names := []string{*stats}
+		if *stats == "all" {
+			names = topo.Names()
+		}
+		fmt.Printf("%-16s %6s %6s %7s %7s %7s %9s %8s\n",
+			"name", "nodes", "edges", "minDeg", "maxDeg", "avgDeg", "diameter", "bridges")
+		for _, name := range names {
+			t, err := topo.Load(name)
+			if err != nil {
+				fatal(err)
+			}
+			st := topo.ComputeStats(t)
+			fmt.Printf("%-16s %6d %6d %7d %7d %7.2f %9d %8d\n",
+				t.Name, st.Nodes, st.Edges, st.MinDegree, st.MaxDegree, st.AvgDegree, st.Diameter, st.Bridges)
+		}
+	case *list:
+		fmt.Printf("%-16s %7s %7s\n", "name", "nodes", "edges")
+		for _, info := range topo.Table2 {
+			fmt.Printf("%-16s %7d %7d\n", info.Name, info.Nodes, info.Edges)
+		}
+	case *dump != "":
+		t, err := topo.Load(*dump)
+		if err != nil {
+			fatal(err)
+		}
+		if *rich {
+			t, _ = topo.RichlyConnected(t)
+		}
+		fmt.Print(topo.Format(t))
+	case *gen != "":
+		parts := strings.Split(*gen, ",")
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("-gen wants \"nodes,edges\", got %q", *gen))
+		}
+		n, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		m, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err1 != nil || err2 != nil {
+			fatal(fmt.Errorf("bad -gen value %q", *gen))
+		}
+		g := topo.Generate(n, m, *seed)
+		fmt.Print(topo.Format(&topo.Topology{Name: fmt.Sprintf("gen-%d-%d", n, m), G: g}))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topogen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+package flexile_test
+
+import (
+	"fmt"
+
+	"flexile"
+)
+
+// fig1Instance builds the paper's motivating example: the triangle with
+// flows A→B and A→C, each needing 1 unit 99% of the time.
+func fig1Instance() *flexile.Instance {
+	tp := flexile.TriangleTopology()
+	inst := flexile.NewSingleClassInstance(tp, 3)
+	inst.Demand[0][0] = 1
+	inst.Demand[0][1] = 1
+	inst.Classes[0].Beta = 0.99
+	// All 8 failure states of the three links (p = 0.01 each).
+	probs := []float64{0.01, 0.01, 0.01}
+	var scens []flexile.Scenario
+	for mask := 0; mask < 8; mask++ {
+		p := 1.0
+		var failed []int
+		for e := 0; e < 3; e++ {
+			if mask&(1<<e) != 0 {
+				p *= probs[e]
+				failed = append(failed, e)
+			} else {
+				p *= 1 - probs[e]
+			}
+		}
+		scens = append(scens, flexile.Scenario{Failed: failed, Prob: p})
+	}
+	inst.Scenarios = scens
+	return inst
+}
+
+// ExampleDesign runs Flexile's offline phase on the paper's Fig. 1
+// triangle: the decomposition discovers that both flows can meet their 99%
+// targets — in different critical scenarios — with zero loss.
+func ExampleDesign() {
+	inst := fig1Instance()
+	design, err := flexile.Design(inst, flexile.DesignOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("PercLoss at 99%%: %.0f%%\n", 100*design.PercLoss[0])
+	// Output:
+	// PercLoss at 99%: 0%
+}
+
+// ExampleScheme_route compares Flexile against SMORE on the triangle: the
+// per-scenario optimum is stuck at 50% while Flexile meets the objective.
+func ExampleScheme_route() {
+	inst := fig1Instance()
+	for _, s := range []flexile.Scheme{flexile.NewSMORE(), flexile.NewFlexile()} {
+		routing, err := s.Route(inst)
+		if err != nil {
+			panic(err)
+		}
+		ev := flexile.Evaluate(inst, routing)
+		fmt.Printf("%s: %.0f%%\n", s.Name(), 100*ev.PercLoss[0])
+	}
+	// Output:
+	// SMORE: 50%
+	// Flexile: 0%
+}
+
+// ExampleFlowLossPercentile shows the percentile semantics of
+// Definition 4.1, including the conservative treatment of probability mass
+// not covered by the enumerated scenarios.
+func ExampleFlowLossPercentile() {
+	losses := []float64{0, 0.05, 0.10}
+	probs := []float64{0.90, 0.09, 0.009} // 0.1% of states unenumerated
+	fmt.Println(flexile.FlowLossPercentile(losses, probs, 0.90))
+	fmt.Println(flexile.FlowLossPercentile(losses, probs, 0.95))
+	fmt.Println(flexile.FlowLossPercentile(losses, probs, 0.9999)) // beyond coverage
+	// Output:
+	// 0
+	// 0.05
+	// 1
+}
+
+// ExampleAllocateOnFailure demonstrates the online phase: when link A−B
+// fails, the flow whose critical scenario this is gets its promised
+// bandwidth first.
+func ExampleAllocateOnFailure() {
+	inst := fig1Instance()
+	design, err := flexile.Design(inst, flexile.DesignOptions{})
+	if err != nil {
+		panic(err)
+	}
+	// Find the scenario where only link 0 (A−B) failed.
+	for q, s := range inst.Scenarios {
+		if len(s.Failed) == 1 && s.Failed[0] == 0 {
+			fracs, _, err := flexile.AllocateOnFailure(inst, design, q, flexile.DesignOptions{})
+			if err != nil {
+				panic(err)
+			}
+			// One of the two flows is critical here and gets full delivery.
+			full := 0
+			for _, f := range []int{0, 1} {
+				if fracs[f] > 0.999 {
+					full++
+				}
+			}
+			fmt.Printf("flows at full delivery: %d\n", full)
+		}
+	}
+	// Output:
+	// flows at full delivery: 1
+}

@@ -1,0 +1,97 @@
+// Quickstart walks through the paper's §3 motivating example end to end:
+// the three-node triangle where every existing TE scheme is stuck at 50%
+// loss at the 99th percentile while Flexile meets the full bandwidth
+// objective — by prioritizing each flow in its own critical scenarios.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flexile"
+)
+
+func main() {
+	// The Fig. 1 topology: A, B, C with unit-capacity links A−B, A−C, B−C,
+	// each failing independently with probability 0.01.
+	tp := flexile.TriangleTopology()
+	inst := flexile.NewSingleClassInstance(tp, 3)
+
+	// Flows: A→B and A→C, one unit each, to be met 99% of the time.
+	// Pairs are ordered (A,B)=0, (A,C)=1, (B,C)=2.
+	inst.Demand[0][0] = 1
+	inst.Demand[0][1] = 1
+	inst.Classes[0].Beta = 0.99
+
+	// Enumerate all 8 failure states of the three links.
+	inst.LinkProbs = []float64{0.01, 0.01, 0.01}
+	flexileEnumerate(inst)
+
+	fmt.Println("The paper's motivating example (Figs. 1-4):")
+	fmt.Println()
+
+	// Every scheme routes the same instance; post-analysis reads the 99th
+	// percentile loss off the resulting per-scenario losses.
+	for _, s := range []flexile.Scheme{
+		flexile.NewSMORE(),
+		flexile.NewTeavar(),
+		flexile.NewCvarFlowSt(),
+		flexile.NewCvarFlowAd(),
+		flexile.NewFlexile(),
+	} {
+		routing, err := s.Route(inst)
+		if err != nil {
+			log.Fatalf("%s: %v", s.Name(), err)
+		}
+		ev := flexile.Evaluate(inst, routing)
+		fmt.Printf("  %-14s 99%%ile loss of the worst flow: %5.1f%%\n", s.Name(), 100*ev.PercLoss[0])
+	}
+
+	fmt.Println()
+	fmt.Println("Why Flexile wins: its offline phase discovers that each flow")
+	fmt.Println("can meet its target in a different set of critical scenarios")
+	fmt.Println("(all states where its own direct link survives, 99% mass),")
+	fmt.Println("and its online phase prioritizes the critical flow whenever")
+	fmt.Println("a link fails:")
+	fmt.Println()
+
+	fx := flexile.NewFlexile()
+	if _, err := fx.Route(inst); err != nil {
+		log.Fatal(err)
+	}
+	design := fx.Offline
+	for _, pair := range []int{0, 1} {
+		f := inst.FlowID(0, pair)
+		u, v := inst.Pairs[pair][0], inst.Pairs[pair][1]
+		fmt.Printf("  flow %s→%s critical in:", tp.G.NodeName(u), tp.G.NodeName(v))
+		mass := 0.0
+		for q, scen := range inst.Scenarios {
+			if design.Critical.Get(f, q) {
+				mass += scen.Prob
+				fmt.Printf(" %v", scen.Failed)
+			}
+		}
+		fmt.Printf("  (mass %.4f)\n", mass)
+	}
+}
+
+// flexileEnumerate fills inst.Scenarios with every subset of failed links.
+func flexileEnumerate(inst *flexile.Instance) {
+	var scens []flexile.Scenario
+	probs := inst.LinkProbs
+	n := len(probs)
+	for mask := 0; mask < 1<<n; mask++ {
+		p := 1.0
+		var failed []int
+		for e := 0; e < n; e++ {
+			if mask&(1<<e) != 0 {
+				p *= probs[e]
+				failed = append(failed, e)
+			} else {
+				p *= 1 - probs[e]
+			}
+		}
+		scens = append(scens, flexile.Scenario{Failed: failed, Prob: p})
+	}
+	inst.Scenarios = scens
+}

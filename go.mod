@@ -1,0 +1,3 @@
+module flexile
+
+go 1.22

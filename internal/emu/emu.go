@@ -1,0 +1,211 @@
+// Package emu is the repository's stand-in for the paper's Mininet/
+// CloudLab emulation testbed (§6.1). It replays a TE scheme's per-scenario
+// routing through a network model that reproduces the two discretization
+// effects the paper measures in Fig. 9c:
+//
+//   - tunnel split ratios are rounded to integer select-group weights
+//     (Open vSwitch accepts only integer weights), and
+//   - traffic is packetized, so per-packet tunnel selection and queueing
+//     introduce additional quantization.
+//
+// Two engines share the same weight discretization: a deterministic fluid
+// engine (loads composed per link, proportional overload drops) and a
+// packet engine (token-bucket sources, weighted per-packet tunnel choice,
+// FIFO drop-tail queues, store-and-forward hops). Per-flow realized loss is
+// measured against the original demand, counting both TE throttling and
+// in-network drops — exactly the paper's accounting.
+package emu
+
+import (
+	"fmt"
+	"math"
+
+	"flexile/internal/te"
+)
+
+// Options configure an emulation run.
+type Options struct {
+	// WeightDenom is the select-group weight resolution; split ratios are
+	// rounded to multiples of 1/WeightDenom. 0 means 100.
+	WeightDenom int
+	// Ticks is the packet engine's measurement window in ticks; 0 means 200.
+	Ticks int
+	// DrainTicks lets in-flight packets arrive after sources stop;
+	// 0 means 50.
+	DrainTicks int
+	// PacketSize is the packet engine's packet size in bandwidth units;
+	// 0 means (min positive demand)/8.
+	PacketSize float64
+	// BufferFactor sizes each link queue as BufferFactor×capacity per
+	// tick; 0 means 2.
+	BufferFactor float64
+	// Seed drives the packet engine's hash-based tunnel selection.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.WeightDenom == 0 {
+		o.WeightDenom = 100
+	}
+	if o.Ticks == 0 {
+		o.Ticks = 200
+	}
+	if o.DrainTicks == 0 {
+		o.DrainTicks = 50
+	}
+	if o.BufferFactor == 0 {
+		o.BufferFactor = 2
+	}
+	return o
+}
+
+// Result holds per-flow emulated outcomes for one scenario.
+type Result struct {
+	// Delivered[f] is the bandwidth that reached the destination
+	// (units per tick, averaged over the window).
+	Delivered []float64
+	// Loss[f] is 1 − Delivered/Demand (0 for zero-demand flows).
+	Loss []float64
+}
+
+// weights discretizes the tunnel split of flow (k,i) in scenario q into
+// integer select-group weights over live tunnels. Returns nil when the
+// flow sends nothing.
+func weights(inst *te.Instance, r *te.Routing, q, k, i, denom int) ([]int, float64) {
+	scen := inst.Scenarios[q]
+	total := 0.0
+	nt := len(inst.Tunnels[k][i])
+	raw := make([]float64, nt)
+	for t := 0; t < nt; t++ {
+		x := r.X[q][k][i][t]
+		if x > 0 && inst.TunnelAlive(k, i, t, scen) {
+			raw[t] = x
+			total += x
+		}
+	}
+	if total <= 0 {
+		return nil, 0
+	}
+	rate := math.Min(total, inst.DemandIn(k, i, q)) // TE throttles at the demand
+	w := make([]int, nt)
+	sum := 0
+	for t := 0; t < nt; t++ {
+		w[t] = int(math.Round(raw[t] / total * float64(denom)))
+		sum += w[t]
+	}
+	if sum == 0 {
+		// Degenerate rounding (all ratios tiny): put everything on the
+		// largest share.
+		best := 0
+		for t := 1; t < nt; t++ {
+			if raw[t] > raw[best] {
+				best = t
+			}
+		}
+		w[best] = denom
+	}
+	return w, rate
+}
+
+// Fluid runs the deterministic fluid engine for one scenario: tunnel rates
+// follow the integer weights, each link drops the proportional overload of
+// its offered load, and drops compose along each tunnel's path.
+func Fluid(inst *te.Instance, r *te.Routing, q int, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if q < 0 || q >= len(inst.Scenarios) {
+		return nil, fmt.Errorf("emu: scenario %d out of range", q)
+	}
+	g := inst.Topo.G
+	scen := inst.Scenarios[q]
+	type tun struct {
+		k, i, t int
+		rate    float64
+	}
+	var tuns []tun
+	load := make([]float64, g.NumEdges())
+	for k := range inst.Classes {
+		for i := range inst.Pairs {
+			w, rate := weights(inst, r, q, k, i, opt.WeightDenom)
+			if w == nil {
+				continue
+			}
+			sum := 0
+			for _, x := range w {
+				sum += x
+			}
+			for t, wt := range w {
+				if wt == 0 {
+					continue
+				}
+				tr := rate * float64(wt) / float64(sum)
+				tuns = append(tuns, tun{k, i, t, tr})
+				for _, e := range inst.Tunnels[k][i][t].Edges {
+					load[e] += tr
+				}
+			}
+		}
+	}
+	pass := make([]float64, g.NumEdges())
+	for e := range pass {
+		cap := g.Edge(e).Capacity
+		if scen.IsFailed(e) {
+			cap = 0
+		}
+		if load[e] <= cap || load[e] == 0 {
+			pass[e] = 1
+		} else {
+			pass[e] = cap / load[e]
+		}
+	}
+	res := newResult(inst)
+	for _, tn := range tuns {
+		frac := 1.0
+		for _, e := range inst.Tunnels[tn.k][tn.i][tn.t].Edges {
+			frac *= pass[e]
+		}
+		res.Delivered[inst.FlowID(tn.k, tn.i)] += tn.rate * frac
+	}
+	finishResult(inst, res, q)
+	return res, nil
+}
+
+func newResult(inst *te.Instance) *Result {
+	return &Result{
+		Delivered: make([]float64, inst.NumFlows()),
+		Loss:      make([]float64, inst.NumFlows()),
+	}
+}
+
+func finishResult(inst *te.Instance, res *Result, q int) {
+	for f := range res.Loss {
+		k, i := inst.FlowOf(f)
+		d := inst.DemandIn(k, i, q)
+		if d <= 0 {
+			continue
+		}
+		if res.Delivered[f] > d {
+			res.Delivered[f] = d
+		}
+		l := 1 - res.Delivered[f]/d
+		res.Loss[f] = math.Max(0, math.Min(1, l))
+	}
+}
+
+// LossMatrix emulates every scenario with the given engine and returns the
+// flow×scenario loss matrix in the shape the eval package consumes.
+func LossMatrix(inst *te.Instance, r *te.Routing, engine func(*te.Instance, *te.Routing, int, Options) (*Result, error), opt Options) ([][]float64, error) {
+	out := make([][]float64, inst.NumFlows())
+	for f := range out {
+		out[f] = make([]float64, len(inst.Scenarios))
+	}
+	for q := range inst.Scenarios {
+		res, err := engine(inst, r, q, opt)
+		if err != nil {
+			return nil, err
+		}
+		for f := range out {
+			out[f][q] = res.Loss[f]
+		}
+	}
+	return out, nil
+}

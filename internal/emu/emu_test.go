@@ -1,0 +1,307 @@
+package emu
+
+import (
+	"math"
+	"testing"
+
+	"flexile/internal/failure"
+	"flexile/internal/scheme/scenbest"
+	"flexile/internal/te"
+	"flexile/internal/topo"
+	"flexile/internal/tunnels"
+)
+
+func triangleInst() *te.Instance {
+	tp := topo.Triangle()
+	inst := te.NewInstance(tp, []te.Class{
+		{Name: "single", Beta: 0.99, Weight: 1, Tunnels: tunnels.SingleClass(3)},
+	})
+	inst.Demand[0][0] = 1
+	inst.Demand[0][1] = 1
+	inst.LinkProbs = []float64{0.01, 0.01, 0.01}
+	inst.Scenarios = failure.Enumerate(inst.LinkProbs, 0)
+	return inst
+}
+
+// directRouting sends each demanded flow fully over its direct link when
+// alive.
+func directRouting(inst *te.Instance) *te.Routing {
+	r := te.NewRouting(inst)
+	for q, s := range inst.Scenarios {
+		for i := 0; i < 2; i++ {
+			for ti, p := range inst.Tunnels[0][i] {
+				if p.Len() == 1 && p.Alive(s.Alive()) {
+					r.X[q][0][i][ti] = 1
+				}
+			}
+		}
+	}
+	return r
+}
+
+func TestFluidMatchesModelOnCleanRouting(t *testing.T) {
+	inst := triangleInst()
+	r := directRouting(inst)
+	model := r.LossMatrix(inst)
+	for q := range inst.Scenarios {
+		res, err := Fluid(inst, r, q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < inst.NumFlows(); f++ {
+			if math.Abs(res.Loss[f]-model[f][q]) > 1e-9 {
+				t.Fatalf("q=%d f=%d fluid %v vs model %v", q, f, res.Loss[f], model[f][q])
+			}
+		}
+	}
+}
+
+func TestFluidDropsOverload(t *testing.T) {
+	inst := triangleInst()
+	r := te.NewRouting(inst)
+	// Deliberately oversubscribe link A-B: both flows routed over it.
+	// Flow 0 direct (1.0); flow 1 (A-C) via A-B-C (1.0) → A-B load 2.
+	for ti, p := range inst.Tunnels[0][0] {
+		if p.Len() == 1 {
+			r.X[0][0][0][ti] = 1
+		}
+	}
+	for ti, p := range inst.Tunnels[0][1] {
+		if p.Len() == 2 {
+			r.X[0][0][1][ti] = 1
+		}
+	}
+	res, err := Fluid(inst, r, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A-B passes 1/2 of its offered 2.0; flow 1 additionally crosses B-C
+	// (load 1·0.5 ≤ 1, no further drop).
+	if math.Abs(res.Loss[0]-0.5) > 1e-9 {
+		t.Fatalf("flow 0 loss %v, want 0.5", res.Loss[0])
+	}
+	if math.Abs(res.Loss[1]-0.5) > 1e-9 {
+		t.Fatalf("flow 1 loss %v, want 0.5", res.Loss[1])
+	}
+}
+
+func TestWeightDiscretization(t *testing.T) {
+	inst := triangleInst()
+	r := te.NewRouting(inst)
+	// Split flow 0 across its two tunnels 0.701/0.299 — with denominator
+	// 10 the weights round to 7/3.
+	for ti, p := range inst.Tunnels[0][0] {
+		if p.Len() == 1 {
+			r.X[0][0][0][ti] = 0.701
+		} else {
+			r.X[0][0][0][ti] = 0.299
+		}
+	}
+	w, rate := weights(inst, r, 0, 0, 0, 10)
+	if w == nil {
+		t.Fatal("nil weights")
+	}
+	sum := 0
+	for _, x := range w {
+		sum += x
+	}
+	if sum != 10 {
+		t.Fatalf("weights %v sum %d", w, sum)
+	}
+	if math.Abs(rate-1.0) > 1e-9 {
+		t.Fatalf("rate %v, want 1 (capped at demand)", rate)
+	}
+	found7, found3 := false, false
+	for _, x := range w {
+		if x == 7 {
+			found7 = true
+		}
+		if x == 3 {
+			found3 = true
+		}
+	}
+	if !found7 || !found3 {
+		t.Fatalf("weights %v, want {7,3}", w)
+	}
+}
+
+func TestPacketCleanDelivery(t *testing.T) {
+	inst := triangleInst()
+	r := directRouting(inst)
+	res, err := Packet(inst, r, 0, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 2; f++ {
+		if res.Loss[f] > 0.02 {
+			t.Fatalf("flow %d packet loss %v on a clean direct route", f, res.Loss[f])
+		}
+	}
+}
+
+func TestPacketFailedLinkDropsEverything(t *testing.T) {
+	inst := triangleInst()
+	r := te.NewRouting(inst)
+	// Route flow 0 over its direct link in the scenario where that link is
+	// down — everything must be lost.
+	qFail := -1
+	for q, s := range inst.Scenarios {
+		if len(s.Failed) == 1 && s.Failed[0] == 0 {
+			qFail = q
+		}
+	}
+	for ti, p := range inst.Tunnels[0][0] {
+		if p.Len() == 1 {
+			r.X[qFail][0][0][ti] = 1
+		}
+	}
+	res, err := Packet(inst, r, qFail, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loss[0] != 1 {
+		t.Fatalf("loss over failed link = %v, want 1", res.Loss[0])
+	}
+}
+
+func TestPacketOverloadApproximatesFluid(t *testing.T) {
+	inst := triangleInst()
+	r := te.NewRouting(inst)
+	for ti, p := range inst.Tunnels[0][0] {
+		if p.Len() == 1 {
+			r.X[0][0][0][ti] = 1
+		}
+	}
+	for ti, p := range inst.Tunnels[0][1] {
+		if p.Len() == 2 {
+			r.X[0][0][1][ti] = 1
+		}
+	}
+	res, err := Packet(inst, r, 0, Options{Seed: 3, Ticks: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both flows share the overloaded A-B link: ~0.5 loss each.
+	for f := 0; f < 2; f++ {
+		if math.Abs(res.Loss[f]-0.5) > 0.08 {
+			t.Fatalf("flow %d loss %v, want ≈0.5", f, res.Loss[f])
+		}
+	}
+}
+
+func TestPacketDeterministicForSeed(t *testing.T) {
+	inst := triangleInst()
+	r := directRouting(inst)
+	a, err := Packet(inst, r, 0, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Packet(inst, r, 0, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range a.Loss {
+		if a.Loss[f] != b.Loss[f] {
+			t.Fatal("same seed must reproduce identical results")
+		}
+	}
+}
+
+// TestEmulationVsModelScenBest is the in-miniature Fig. 9c: emulated losses
+// track the optimization model's predicted losses closely across all
+// scenarios for a real scheme's routing.
+func TestEmulationVsModelScenBest(t *testing.T) {
+	inst := triangleInst()
+	r, err := (&scenbest.Scheme{}).Route(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := r.LossMatrix(inst)
+	fluid, err := LossMatrix(inst, r, Fluid, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := LossMatrix(inst, r, Packet, Options{Seed: 11, Ticks: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 2; f++ {
+		for q := range inst.Scenarios {
+			if d := math.Abs(fluid[f][q] - model[f][q]); d > 0.02 {
+				t.Fatalf("fluid deviates %v at f=%d q=%d", d, f, q)
+			}
+			if d := math.Abs(pkt[f][q] - model[f][q]); d > 0.06 {
+				t.Fatalf("packet deviates %v at f=%d q=%d (model %v, emu %v)", d, f, q, model[f][q], pkt[f][q])
+			}
+		}
+	}
+}
+
+func TestLossMatrixShape(t *testing.T) {
+	inst := triangleInst()
+	r := directRouting(inst)
+	m, err := LossMatrix(inst, r, Fluid, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != inst.NumFlows() || len(m[0]) != len(inst.Scenarios) {
+		t.Fatalf("matrix shape %dx%d", len(m), len(m[0]))
+	}
+}
+
+func TestWeightsDegenerateRounding(t *testing.T) {
+	inst := triangleInst()
+	r := te.NewRouting(inst)
+	// Two tunnels with minuscule allocations: integer rounding with a
+	// small denominator collapses to zero; the fallback must put all
+	// weight on the larger share.
+	big, small := -1, -1
+	for ti, p := range inst.Tunnels[0][0] {
+		if p.Len() == 1 {
+			big = ti
+		} else {
+			small = ti
+		}
+	}
+	r.X[0][0][0][big] = 3e-9
+	r.X[0][0][0][small] = 1e-9
+	w, rate := weights(inst, r, 0, 0, 0, 100)
+	if w == nil || w[big] < w[small] {
+		t.Fatalf("ratio rounding wrong: %v", w)
+	}
+	// Denominator 1 with a 0.4/0.3/0.3-style split rounds every weight to
+	// zero; the fallback must recover by selecting the largest share.
+	r.X[0][0][0][big] = 0.4
+	r.X[0][0][0][small] = 0.6 * 0.499 // two-way split keeps both < 0.5
+	w, rate = weights(inst, r, 0, 0, 0, 1)
+	if w == nil {
+		t.Fatal("nil weights for a positive allocation")
+	}
+	sum := 0
+	for _, x := range w {
+		sum += x
+	}
+	if sum == 0 {
+		t.Fatalf("degenerate rounding left zero weights: %v", w)
+	}
+	if w[big] < w[small] {
+		t.Fatalf("fallback picked the smaller share: %v", w)
+	}
+	if rate <= 0 || rate > inst.Demand[0][0] {
+		t.Fatalf("rate %v out of range", rate)
+	}
+}
+
+func TestFluidZeroRouting(t *testing.T) {
+	inst := triangleInst()
+	r := te.NewRouting(inst)
+	res, err := Fluid(inst, r, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []int{0, 1} {
+		if res.Loss[f] != 1 {
+			t.Fatalf("flow %d with no allocation must lose all, got %v", f, res.Loss[f])
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package emu
+
+import (
+	"fmt"
+	"math"
+
+	"flexile/internal/te"
+)
+
+// packet is one in-flight unit of traffic.
+type packet struct {
+	flow int // flow id
+	size float64
+	path []int // remaining edges to traverse
+	hop  int   // next edge index within path
+}
+
+// linkQueue is a FIFO drop-tail queue in front of one link direction.
+// Links are modeled undirected with a shared queue, matching the
+// undirected capacity model used by the optimization.
+type linkQueue struct {
+	buf      []packet
+	bytes    float64
+	capacity float64 // units transmitted per tick
+	bufMax   float64 // queue size bound in units
+	alive    bool
+}
+
+func (l *linkQueue) push(p packet) bool {
+	if !l.alive || l.bytes+p.size > l.bufMax {
+		return false
+	}
+	l.buf = append(l.buf, p)
+	l.bytes += p.size
+	return true
+}
+
+// Packet runs the packet-level engine for one scenario: token-bucket
+// sources at the TE-allotted rate, per-packet weighted tunnel selection
+// with a deterministic hash (the OVS select-group behaviour), and
+// store-and-forward FIFO queues with drop-tail losses.
+func Packet(inst *te.Instance, r *te.Routing, q int, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if q < 0 || q >= len(inst.Scenarios) {
+		return nil, fmt.Errorf("emu: scenario %d out of range", q)
+	}
+	g := inst.Topo.G
+	scen := inst.Scenarios[q]
+
+	pktSize := opt.PacketSize
+	if pktSize == 0 {
+		minD := math.Inf(1)
+		total := 0.0
+		for f := 0; f < inst.NumFlows(); f++ {
+			if d := inst.FlowDemand(f); d > 0 {
+				total += d
+				if d < minD {
+					minD = d
+				}
+			}
+		}
+		if math.IsInf(minD, 1) {
+			return newResult(inst), nil
+		}
+		// Resolve the smallest flow into a few packets per tick, but cap
+		// the aggregate packet rate so heavy-tailed demand distributions
+		// don't explode the simulation cost.
+		pktSize = minD / 8
+		if lo := total / 20000; pktSize < lo {
+			pktSize = lo
+		}
+	}
+
+	links := make([]linkQueue, g.NumEdges())
+	for e := range links {
+		cap := g.Edge(e).Capacity
+		links[e] = linkQueue{
+			capacity: cap,
+			bufMax:   cap * opt.BufferFactor,
+			alive:    !scen.IsFailed(e),
+		}
+	}
+
+	type source struct {
+		flow    int
+		k, i    int
+		rate    float64 // units per tick
+		weights []int
+		wsum    int
+		credit  float64
+		counter uint64
+	}
+	var sources []source
+	for k := range inst.Classes {
+		for i := range inst.Pairs {
+			w, rate := weights(inst, r, q, k, i, opt.WeightDenom)
+			if w == nil || rate <= 0 {
+				continue
+			}
+			sum := 0
+			for _, x := range w {
+				sum += x
+			}
+			sources = append(sources, source{
+				flow: inst.FlowID(k, i), k: k, i: i,
+				rate: rate, weights: w, wsum: sum,
+				counter: splitmix(uint64(opt.Seed) ^ uint64(inst.FlowID(k, i))*0x9e3779b97f4a7c15),
+			})
+		}
+	}
+
+	res := newResult(inst)
+	delivered := make([]float64, inst.NumFlows())
+
+	for tick := 0; tick < opt.Ticks+opt.DrainTicks; tick++ {
+		// Sources emit during the measurement window only. Emission is
+		// interleaved round-robin across sources (one packet per source per
+		// pass) so synchronized bursts don't phase-lock the drop-tail
+		// queues — on a shared wire packets from different hosts mix.
+		if tick < opt.Ticks {
+			for si := range sources {
+				sources[si].credit += sources[si].rate
+			}
+			for emitted := true; emitted; {
+				emitted = false
+				for si := range sources {
+					s := &sources[si]
+					if s.credit < pktSize {
+						continue
+					}
+					s.credit -= pktSize
+					emitted = true
+					// Weighted per-packet tunnel pick via a deterministic
+					// hash sequence (select-group semantics).
+					s.counter = splitmix(s.counter)
+					pick := int(s.counter % uint64(s.wsum))
+					tIdx := 0
+					for t, wt := range s.weights {
+						if pick < wt {
+							tIdx = t
+							break
+						}
+						pick -= wt
+						tIdx = t
+					}
+					path := inst.Tunnels[s.k][s.i][tIdx].Edges
+					if len(path) == 0 {
+						continue
+					}
+					links[path[0]].push(packet{flow: s.flow, size: pktSize, path: path}) // drop-tail if full
+				}
+			}
+		}
+		// Links transmit up to their capacity per tick. Forwarded packets
+		// are staged and enqueued after every link has transmitted, so a
+		// packet advances at most one hop per tick regardless of edge
+		// iteration order (store-and-forward).
+		var staged []packet
+		for e := range links {
+			l := &links[e]
+			if !l.alive {
+				l.buf = nil
+				l.bytes = 0
+				continue
+			}
+			budget := l.capacity
+			n := 0
+			for _, p := range l.buf {
+				if p.size > budget {
+					break
+				}
+				budget -= p.size
+				l.bytes -= p.size
+				n++
+				p.hop++
+				if p.hop >= len(p.path) {
+					delivered[p.flow] += p.size
+				} else {
+					staged = append(staged, p)
+				}
+			}
+			l.buf = l.buf[n:]
+		}
+		for _, p := range staged {
+			links[p.path[p.hop]].push(p) // drop-tail if the next queue is full
+		}
+	}
+	window := float64(opt.Ticks)
+	for f := range delivered {
+		res.Delivered[f] = delivered[f] / window
+	}
+	finishResult(inst, res, q)
+	return res, nil
+}
+
+// splitmix is SplitMix64, a tiny deterministic hash/PRNG step.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

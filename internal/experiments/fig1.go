@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"flexile/internal/eval"
+	"flexile/internal/failure"
+	"flexile/internal/scheme"
+	"flexile/internal/scheme/cvarflow"
+	"flexile/internal/scheme/flexile"
+	"flexile/internal/scheme/ip"
+	"flexile/internal/scheme/scenbest"
+	"flexile/internal/scheme/teavar"
+	"flexile/internal/te"
+	"flexile/internal/topo"
+	"flexile/internal/tunnels"
+)
+
+// Fig1Result reproduces the §3 motivating example (Figs. 1–4): the 99th
+// percentile loss each scheme achieves on the triangle topology.
+type Fig1Result struct {
+	// PercLoss by scheme name.
+	PercLoss map[string]float64
+}
+
+// Fig1Motivation runs every scheme on the Fig. 1 triangle. The paper's
+// claims: ScenBest and Teavar are stuck at ≈50% loss, the CVaR
+// generalizations at ≥48.5% (Prop. 2), while Flexile and the exact IP
+// achieve zero.
+func Fig1Motivation() (*Fig1Result, error) {
+	tp := topo.Triangle()
+	inst := te.NewInstance(tp, []te.Class{
+		{Name: "single", Beta: 0.99, Weight: 1, Tunnels: tunnels.SingleClass(3)},
+	})
+	inst.Demand[0][0] = 1
+	inst.Demand[0][1] = 1
+	inst.LinkProbs = []float64{0.01, 0.01, 0.01}
+	inst.Scenarios = failure.Enumerate(inst.LinkProbs, 0)
+
+	schemes := []scheme.Scheme{
+		&scenbest.Scheme{DisplayName: "SMORE"},
+		&teavar.Scheme{},
+		&cvarflow.St{},
+		&cvarflow.Ad{},
+		&flexile.Scheme{},
+		&ip.Scheme{},
+	}
+	res := &Fig1Result{PercLoss: map[string]float64{}}
+	for _, s := range schemes {
+		run, err := RunScheme(s, inst)
+		if err != nil {
+			return nil, err
+		}
+		res.PercLoss[run.Scheme] = run.PercLoss[0]
+	}
+	return res, nil
+}
+
+// Render formats the result as a table.
+func (r *Fig1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 1-4 (motivating example): 99%ile loss on the triangle\n")
+	order := []string{"SMORE", "Teavar", "Cvar-Flow-St", "Cvar-Flow-Ad", "Flexile", "IP"}
+	for _, name := range order {
+		if v, ok := r.PercLoss[name]; ok {
+			fmt.Fprintf(&b, "  %-14s PercLoss = %5.1f%%\n", name, 100*v)
+		}
+	}
+	return b.String()
+}
+
+// Fig5Result is the CDF of per-flow percentile loss on one topology for
+// Teavar, ScenBest and Flexile (paper Fig. 5, IBM).
+type Fig5Result struct {
+	Topology string
+	Beta     float64
+	// FlowLossCDF maps scheme → CDF over flows of FlowLoss(f, β).
+	FlowLossCDF map[string][]eval.CDFPoint
+	// FracZero maps scheme → fraction of flows with zero percentile loss.
+	FracZero map[string]float64
+	// Worst maps scheme → the worst flow's percentile loss (PercLoss).
+	Worst map[string]float64
+}
+
+// Fig5 reproduces the per-flow loss CDF. The paper's shape: Flexile's curve
+// is a point mass at zero; ScenBest leaves ≥10% of flows at substantial
+// loss; Teavar is far to the right.
+func Fig5(cfg Config) (*Fig5Result, error) {
+	cfg = cfg.withDefaults()
+	name := "IBM"
+	inst, err := cfg.SingleClass(name)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{
+		Topology:    name,
+		Beta:        inst.Classes[0].Beta,
+		FlowLossCDF: map[string][]eval.CDFPoint{},
+		FracZero:    map[string]float64{},
+		Worst:       map[string]float64{},
+	}
+	for _, s := range []scheme.Scheme{&teavar.Scheme{}, &scenbest.Scheme{}, &flexile.Scheme{}} {
+		run, err := RunScheme(s, inst)
+		if err != nil {
+			return nil, err
+		}
+		fl := eval.FlowLossAll(inst, run.Losses)
+		var vals []float64
+		zero := 0
+		n := 0
+		for _, f := range eval.ClassFlows(inst, 0) {
+			vals = append(vals, fl[f])
+			n++
+			if fl[f] <= 1e-9 {
+				zero++
+			}
+		}
+		res.FlowLossCDF[run.Scheme] = eval.CDF(vals, nil)
+		res.FracZero[run.Scheme] = float64(zero) / float64(n)
+		res.Worst[run.Scheme] = run.PercLoss[0]
+	}
+	return res, nil
+}
+
+// Render formats the result.
+func (r *Fig5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 5: CDF of %.5f-percentile loss across flows (%s)\n", r.Beta, r.Topology)
+	for _, name := range []string{"Teavar", "ScenBest", "Flexile"} {
+		cdf, ok := r.FlowLossCDF[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-9s zero-loss flows: %5.1f%%  worst flow: %5.1f%%  cdf: %s\n",
+			name, 100*r.FracZero[name], 100*r.Worst[name], renderCDF(cdf, 8))
+	}
+	return b.String()
+}
+
+// Fig6Result is the CDF (over scenario probability mass) of the ScenLoss
+// penalty each scheme pays relative to the per-scenario optimum (ScenBest).
+type Fig6Result struct {
+	Topology string
+	// PenaltyCDF maps scheme → weighted CDF of (ScenLoss − optimal
+	// ScenLoss) across scenarios.
+	PenaltyCDF map[string][]eval.CDFPoint
+	// PenaltyAt maps scheme → penalty at the 0.999 and 0.9999 quantiles.
+	PenaltyAt map[string][2]float64
+}
+
+// Fig6 reproduces the scenario-loss penalty comparison: Flexile pays almost
+// no penalty versus the per-scenario optimum while Teavar's penalty is
+// large everywhere.
+func Fig6(cfg Config) (*Fig6Result, error) {
+	cfg = cfg.withDefaults()
+	name := "IBM"
+	inst, err := cfg.SingleClass(name)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := RunScheme(&scenbest.Scheme{}, inst)
+	if err != nil {
+		return nil, err
+	}
+	flows := eval.ClassFlows(inst, 0)
+	optScen := make([]float64, len(inst.Scenarios))
+	for q := range inst.Scenarios {
+		optScen[q] = eval.ScenLoss(inst, opt.Losses, q, flows, true)
+	}
+	probs := ScenarioProbs(inst)
+	res := &Fig6Result{
+		Topology:   name,
+		PenaltyCDF: map[string][]eval.CDFPoint{},
+		PenaltyAt:  map[string][2]float64{},
+	}
+	for _, s := range []scheme.Scheme{&teavar.Scheme{}, &flexile.Scheme{}} {
+		run, err := RunScheme(s, inst)
+		if err != nil {
+			return nil, err
+		}
+		pen := make([]float64, len(inst.Scenarios))
+		for q := range inst.Scenarios {
+			pen[q] = eval.ScenLoss(inst, run.Losses, q, flows, true) - optScen[q]
+			if pen[q] < 0 {
+				pen[q] = 0
+			}
+		}
+		cdf := eval.CDF(pen, probs)
+		res.PenaltyCDF[run.Scheme] = cdf
+		res.PenaltyAt[run.Scheme] = [2]float64{eval.Quantile(cdf, 0.999), eval.Quantile(cdf, 0.9999)}
+	}
+	return res, nil
+}
+
+// Render formats the result.
+func (r *Fig6Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 6: ScenLoss penalty vs per-scenario optimum (%s)\n", r.Topology)
+	for _, name := range []string{"Teavar", "Flexile"} {
+		if at, ok := r.PenaltyAt[name]; ok {
+			fmt.Fprintf(&b, "  %-9s penalty at 99.9%%: %5.1f%%  at 99.99%%: %5.1f%%\n",
+				name, 100*at[0], 100*at[1])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallestCfg trims the tiny scale further so these harness tests stay
+// fast under `go test ./...`.
+func smallestCfg() Config {
+	return Config{Scale: Tiny, Seed: 1, Topologies: []string{"Sprint"}, MaxScenarios: 10}
+}
+
+func TestFig12Shape(t *testing.T) {
+	res, err := Fig12(smallestCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flexile never does worse than SMORE or Teavar on any topology.
+	for i := range res.Topologies {
+		if res.PercLoss["Flexile"][i] > res.PercLoss["SMORE"][i]+1e-6 {
+			t.Fatalf("%s: Flexile %v > SMORE %v", res.Topologies[i],
+				res.PercLoss["Flexile"][i], res.PercLoss["SMORE"][i])
+		}
+		if res.PercLoss["Flexile"][i] > res.PercLoss["Teavar"][i]+1e-6 {
+			t.Fatalf("%s: Flexile %v > Teavar %v", res.Topologies[i],
+				res.PercLoss["Flexile"][i], res.PercLoss["Teavar"][i])
+		}
+	}
+	if !strings.Contains(res.Render(), "median reduction") {
+		t.Fatal("render missing summary")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	res, err := Fig13(smallestCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-scenario schemes keep high-priority traffic lossless at the
+	// 99.9% scenario quantile. Flexile may trade a *non-critical* high
+	// flow in a tight scenario for low-priority critical promises — that
+	// is the §4.4 trade-off its objective encodes (use SequentialDesign
+	// for strict priority) — so for Flexile the assertion is on the
+	// percentile metric instead, which its critical coverage guarantees.
+	for _, s := range []string{"SWAN-Maxmin", "ScenBest-Multi"} {
+		if v := res.HighLossAt999[s]; v > 0.05 {
+			t.Fatalf("%s high-priority worst-flow loss %v at 99.9%%", s, v)
+		}
+	}
+	t.Logf("Flexile high@99.9%%=%v (per-scenario; percentile metric is the guarantee)", res.HighLossAt999["Flexile"])
+	// Across scenarios, Flexile's low PercLoss beats SWAN-Maxmin's.
+	if res.PercLossLow["Flexile"] > res.PercLossLow["SWAN-Maxmin"]+1e-6 {
+		t.Fatalf("Flexile low PercLoss %v > SWAN-Maxmin %v",
+			res.PercLossLow["Flexile"], res.PercLossLow["SWAN-Maxmin"])
+	}
+	if res.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestGammaVariantShape(t *testing.T) {
+	res, err := GammaVariant(smallestCfg(), "Sprint", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The γ bound caps the per-scenario penalty at ≈ γ.
+	if res.MaxExtraScenLoss > 0.05+0.02 {
+		t.Fatalf("per-scenario penalty %v exceeds γ", res.MaxExtraScenLoss)
+	}
+	if !strings.Contains(res.Render(), "γ") {
+		t.Fatal("render missing gamma")
+	}
+}
+
+func TestFig14AndFig15Shape(t *testing.T) {
+	cfg := smallestCfg()
+	res14, err := Fig14(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res14.Topologies) == 0 {
+		t.Fatal("no IP-solvable topology at this scale")
+	}
+	// The gap is nonincreasing across iterations and ends ≈ 0 (the paper:
+	// optimal within 5 iterations).
+	for i := range res14.Topologies {
+		gaps := res14.Gap[i]
+		for it := 1; it < len(gaps); it++ {
+			if gaps[it] > gaps[it-1]+1e-9 {
+				t.Fatalf("%s: gap increased at iteration %d: %v", res14.Topologies[i], it+1, gaps)
+			}
+		}
+		if gaps[len(gaps)-1] > 0.02 {
+			t.Fatalf("%s: final gap %v", res14.Topologies[i], gaps[len(gaps)-1])
+		}
+	}
+
+	res15, err := Fig15(cfg, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res15.Topologies {
+		if res15.FlexileT[i] <= 0 {
+			t.Fatal("missing Flexile timing")
+		}
+		// The decomposition beats the replicated IP whenever the IP ran.
+		if !res15.IPTimedOut[i] && res15.IPT[i] > 0 && res15.FlexileT[i] > res15.IPT[i] {
+			t.Logf("note: Flexile %v slower than IP %v on %s (tiny instances can go either way)",
+				res15.FlexileT[i], res15.IPT[i], res15.Topologies[i])
+		}
+	}
+	if !strings.Contains(res15.Render(), "links") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFig18Shape(t *testing.T) {
+	res, err := Fig18(smallestCfg(), []string{"Sprint"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := res.MaxScale["Flexile"][0]
+	sw := res.MaxScale["SWAN-Maxmin"][0]
+	if fx <= 0 || sw < 0 {
+		t.Fatalf("scales fx=%v sw=%v", fx, sw)
+	}
+	// Flexile sustains at least SWAN-Maxmin's zero-loss scale (paper
+	// Fig. 18: strictly higher on every topology; ties can occur at the
+	// bisection tolerance).
+	if fx < sw-0.05 {
+		t.Fatalf("Flexile max scale %v below SWAN-Maxmin %v", fx, sw)
+	}
+	if res.Render() == "" {
+		t.Fatal("empty render")
+	}
+}

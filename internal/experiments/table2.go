@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"flexile/internal/topo"
+)
+
+// Table2Result is the topology inventory (paper Table 2).
+type Table2Result struct {
+	Rows []topo.Info
+}
+
+// Table2 lists the evaluation topologies with their sizes.
+func Table2() *Table2Result {
+	return &Table2Result{Rows: append([]topo.Info(nil), topo.Table2...)}
+}
+
+// Render formats the inventory.
+func (r *Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 2: topologies used in evaluation\n")
+	fmt.Fprintf(&b, "  %-16s %7s %7s\n", "topology", "nodes", "edges")
+	for _, info := range r.Rows {
+		fmt.Fprintf(&b, "  %-16s %7d %7d\n", info.Name, info.Nodes, info.Edges)
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package graph
+
+// MaxFlow computes the maximum flow between s and t over the undirected
+// graph under the given alive predicate (nil = all edges), treating each
+// edge's capacity as usable in either direction (the standard undirected
+// max-flow model, matching the capacity semantics of the TE instances).
+//
+// It runs Edmonds-Karp over the residual network. The returned value is
+// exact for rational capacities. TE code uses it as an upper bound oracle:
+// no tunnel-based routing of a single pair can exceed the pair's max flow,
+// which makes it a cheap cross-check for the LP-based allocators.
+func (g *Graph) MaxFlow(s, t int, alive func(edge int) bool) float64 {
+	if s == t {
+		return 0
+	}
+	n := g.NumNodes()
+	// Residual capacities as an adjacency map: undirected edge {a,b} with
+	// capacity c becomes residual arcs a→b and b→a, each with capacity c
+	// (flow in one direction cancels against the other).
+	type arc struct {
+		to  int
+		cap float64
+		rev int // index of the reverse arc in adj[to]
+	}
+	adj := make([][]arc, n)
+	addArc := func(a, b int, c float64) {
+		adj[a] = append(adj[a], arc{to: b, cap: c, rev: len(adj[b])})
+		adj[b] = append(adj[b], arc{to: a, cap: c, rev: len(adj[a]) - 1})
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		if alive != nil && !alive(e) {
+			continue
+		}
+		ed := g.Edge(e)
+		if ed.Capacity > 0 {
+			addArc(ed.A, ed.B, ed.Capacity)
+		}
+	}
+	total := 0.0
+	prevNode := make([]int, n)
+	prevArc := make([]int, n)
+	for {
+		// BFS for a shortest augmenting path.
+		for i := range prevNode {
+			prevNode[i] = -1
+		}
+		prevNode[s] = s
+		queue := []int{s}
+		for len(queue) > 0 && prevNode[t] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for ai, a := range adj[u] {
+				if a.cap > 1e-12 && prevNode[a.to] == -1 {
+					prevNode[a.to] = u
+					prevArc[a.to] = ai
+					queue = append(queue, a.to)
+				}
+			}
+		}
+		if prevNode[t] == -1 {
+			return total
+		}
+		// Bottleneck along the path.
+		aug := 1e308
+		for v := t; v != s; v = prevNode[v] {
+			a := adj[prevNode[v]][prevArc[v]]
+			if a.cap < aug {
+				aug = a.cap
+			}
+		}
+		for v := t; v != s; v = prevNode[v] {
+			u := prevNode[v]
+			adj[u][prevArc[v]].cap -= aug
+			rev := adj[u][prevArc[v]].rev
+			adj[v][rev].cap += aug
+		}
+		total += aug
+	}
+}

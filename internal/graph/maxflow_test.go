@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMaxFlowClassic(t *testing.T) {
+	// s=0, a=1, b=2, t=3: s-a(3), s-b(2), a-t(2), b-t(3), a-b(1) → 5.
+	g := New(4)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(1, 3, 2)
+	g.AddEdge(2, 3, 3)
+	g.AddEdge(1, 2, 1)
+	if got := g.MaxFlow(0, 3, nil); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("max flow = %v, want 5", got)
+	}
+}
+
+func TestMaxFlowTriangle(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 2, 1)
+	// A→B: direct (1) + via C (1) = 2.
+	if got := g.MaxFlow(0, 1, nil); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("max flow = %v, want 2", got)
+	}
+	// With A-B dead, only the 2-hop path remains.
+	alive := func(e int) bool { return e != 0 }
+	if got := g.MaxFlow(0, 1, alive); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("max flow without direct link = %v, want 1", got)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(2, 3, 5)
+	if got := g.MaxFlow(0, 3, nil); got != 0 {
+		t.Fatalf("flow across components = %v", got)
+	}
+	if got := g.MaxFlow(0, 0, nil); got != 0 {
+		t.Fatalf("s == t flow = %v", got)
+	}
+}
+
+// Property: max flow equals min cut on random graphs — verified against a
+// brute-force min cut over all s-t partitions (small n).
+func TestMaxFlowMinCutRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(4)
+		g := New(n)
+		for i := 1; i < n; i++ {
+			g.AddEdge(i, rng.Intn(i), 1+rng.Float64()*4)
+		}
+		extra := rng.Intn(2 * n)
+		for i := 0; i < extra; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				g.AddEdge(a, b, 1+rng.Float64()*4)
+			}
+		}
+		s, tt := 0, n-1
+		flow := g.MaxFlow(s, tt, nil)
+		minCut := math.Inf(1)
+		for mask := 0; mask < 1<<n; mask++ {
+			if mask&(1<<s) == 0 || mask&(1<<tt) != 0 {
+				continue
+			}
+			cut := 0.0
+			for e := 0; e < g.NumEdges(); e++ {
+				ed := g.Edge(e)
+				inA := mask&(1<<ed.A) != 0
+				inB := mask&(1<<ed.B) != 0
+				if inA != inB {
+					cut += ed.Capacity
+				}
+			}
+			if cut < minCut {
+				minCut = cut
+			}
+		}
+		if math.Abs(flow-minCut) > 1e-6 {
+			t.Fatalf("trial %d: max flow %v != min cut %v", trial, flow, minCut)
+		}
+	}
+}
+
+// testGraphIBM builds a fixed 17-node benchmark graph (IBM's Table-2
+// shape) without importing the topo package (avoiding an import cycle).
+func testGraphIBM() *Graph {
+	rng := rand.New(rand.NewSource(23))
+	g := New(17)
+	for i := 1; i < 17; i++ {
+		g.AddEdge(i, rng.Intn(i), 100)
+	}
+	for g.NumEdges() < 23 {
+		a, b := rng.Intn(17), rng.Intn(17)
+		if a != b {
+			g.AddEdge(a, b, 100)
+		}
+	}
+	return g
+}

@@ -1,0 +1,96 @@
+package lp
+
+import "math"
+
+// Basis captures the simplex basis of a solved problem so a subsequent
+// solve of a *slightly modified* problem (changed bounds or costs, same
+// rows and columns) can start from it instead of from scratch. This is the
+// standard warm-start mechanism branch-and-bound needs: a child node
+// differs from its parent only in one variable's bounds, so re-solving
+// from the parent's basis typically takes a handful of pivots instead of
+// hundreds.
+type Basis struct {
+	// colStat[j] ∈ {nonbasicLower, nonbasicUpper, nonbasicFree, basic} per
+	// structural column; rowStat likewise for the logical variable of each
+	// row.
+	colStat []varStatus
+	rowStat []varStatus
+}
+
+// Basis returns the final basis of the solve, or nil if the solution did
+// not record one.
+func (s *Solution) Basis() *Basis { return s.basis }
+
+// snapshotBasis records the current basis of a simplex run.
+func (s *simplex) snapshotBasis() *Basis {
+	b := &Basis{
+		colStat: make([]varStatus, s.n),
+		rowStat: make([]varStatus, s.m),
+	}
+	copy(b.colStat, s.status[:s.n])
+	copy(b.rowStat, s.status[s.n:])
+	return b
+}
+
+// installBasis initializes the simplex state from a stored basis: statuses
+// are restored (clamped to the current bounds), the basis inverse is
+// refactorized from the recorded basic set, and the basic values are
+// recomputed. If the recorded basic set is singular or has the wrong size,
+// installation fails and the caller falls back to the cold start.
+func (s *simplex) installBasis(b *Basis) bool {
+	if b == nil || len(b.colStat) != s.n || len(b.rowStat) != s.m {
+		return false
+	}
+	nBasic := 0
+	for _, st := range b.colStat {
+		if st == basic {
+			nBasic++
+		}
+	}
+	for _, st := range b.rowStat {
+		if st == basic {
+			nBasic++
+		}
+	}
+	if nBasic != s.m {
+		return false
+	}
+	for v := 0; v < s.n+s.m; v++ {
+		s.inBpos[v] = -1
+	}
+	pos := 0
+	assign := func(v int, st varStatus) {
+		s.status[v] = st
+		switch st {
+		case basic:
+			s.basis[pos] = v
+			s.inBpos[v] = pos
+			pos++
+		case nonbasicLower:
+			if math.IsInf(s.lb[v], -1) {
+				// The bound this status referred to no longer exists.
+				s.xval[v], s.status[v] = initialValue(s.lb[v], s.ub[v])
+				return
+			}
+			s.xval[v] = s.lb[v]
+		case nonbasicUpper:
+			if math.IsInf(s.ub[v], 1) {
+				s.xval[v], s.status[v] = initialValue(s.lb[v], s.ub[v])
+				return
+			}
+			s.xval[v] = s.ub[v]
+		default:
+			s.xval[v] = 0
+		}
+	}
+	for j := 0; j < s.n; j++ {
+		assign(j, b.colStat[j])
+	}
+	for i := 0; i < s.m; i++ {
+		assign(s.n+i, b.rowStat[i])
+	}
+	if err := s.refactor(); err != nil {
+		return false
+	}
+	return true
+}

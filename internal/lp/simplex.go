@@ -1,0 +1,936 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// errSingularBasis signals that numerical degradation made the recorded
+// basis singular; solve() recovers by restarting from the logical basis.
+var errSingularBasis = errors.New("lp: singular basis during refactorization")
+
+// Variable status within the simplex tableau.
+type varStatus int8
+
+const (
+	nonbasicLower varStatus = iota
+	nonbasicUpper
+	nonbasicFree // free variable held at zero
+	basic
+)
+
+// simplex is the working state of one solve. Variables are indexed
+// 0..n-1 (structural) and n..n+m-1 (logicals, one per row). The system
+// solved is F·x = 0 with F = [A | -I]: the logical variable of row i equals
+// the row activity a_i·x and carries the row bounds.
+type simplex struct {
+	p    *Problem
+	opts Options
+
+	n, m int // structural columns, rows
+
+	// Sparse structural columns.
+	colPtr []int
+	colIdx []int32
+	colVal []float64
+
+	lb, ub []float64 // bounds per variable (n structural + m logical)
+	cost   []float64 // phase-2 costs (structural only; logicals 0)
+
+	status []varStatus
+	xval   []float64 // current value of every nonbasic variable
+	basis  []int     // basis[i] = variable basic in row position i
+	inBpos []int     // inBpos[v] = row position if basic, else -1
+	xB     []float64 // values of basic variables
+
+	binv []float64 // dense m×m row-major basis inverse
+
+	// scratch
+	y  []float64
+	w  []float64
+	cc []float64
+
+	trueCost []float64 // original costs saved across the perturbation
+
+	pivots        int
+	sinceRefactor int
+}
+
+func newSimplex(p *Problem, opts Options) *simplex {
+	n, m := p.NumCols(), p.NumRows()
+	s := &simplex{
+		p:    p,
+		opts: opts.withDefaults(m, n),
+		n:    n,
+		m:    m,
+	}
+	s.buildColumns()
+	s.lb = make([]float64, n+m)
+	s.ub = make([]float64, n+m)
+	copy(s.lb, p.colLB)
+	copy(s.ub, p.colUB)
+	for i := 0; i < m; i++ {
+		s.lb[n+i] = p.rowLB[i]
+		s.ub[n+i] = p.rowUB[i]
+	}
+	s.cost = make([]float64, n+m)
+	copy(s.cost, p.obj)
+	s.status = make([]varStatus, n+m)
+	s.xval = make([]float64, n+m)
+	s.basis = make([]int, m)
+	s.inBpos = make([]int, n+m)
+	s.xB = make([]float64, m)
+	s.binv = make([]float64, m*m)
+	s.y = make([]float64, m)
+	s.w = make([]float64, m)
+	s.cc = make([]float64, n+m)
+	return s
+}
+
+// buildColumns converts the row-wise insertion buffers into compressed
+// sparse columns, summing duplicate coefficients.
+func (s *simplex) buildColumns() {
+	n, m := s.n, s.m
+	counts := make([]int, n+1)
+	for _, row := range s.p.rows {
+		for _, e := range row {
+			if e.Col < 0 || e.Col >= n {
+				panic(fmt.Sprintf("lp: entry column %d out of range [0,%d)", e.Col, n))
+			}
+			counts[e.Col+1]++
+		}
+	}
+	for j := 0; j < n; j++ {
+		counts[j+1] += counts[j]
+	}
+	nnz := counts[n]
+	idx := make([]int32, nnz)
+	val := make([]float64, nnz)
+	next := make([]int, n)
+	copy(next, counts[:n])
+	for i, row := range s.p.rows {
+		for _, e := range row {
+			k := next[e.Col]
+			idx[k] = int32(i)
+			val[k] = e.Coef
+			next[e.Col]++
+		}
+	}
+	// Merge duplicates within each column (same row appearing twice).
+	ptr := make([]int, n+1)
+	outN := 0
+	for j := 0; j < n; j++ {
+		ptr[j] = outN
+		start, end := counts[j], counts[j+1]
+		// Rows arrive in insertion order which is ascending row order per
+		// AddRow, so duplicates are adjacent only if added to the same row;
+		// handle the general case with a small scan.
+		for k := start; k < end; k++ {
+			r, v := idx[k], val[k]
+			merged := false
+			for t := ptr[j]; t < outN; t++ {
+				if idx[t] == r {
+					val[t] += v
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				idx[outN] = r
+				val[outN] = v
+				outN++
+			}
+		}
+		_ = m
+	}
+	ptr[n] = outN
+	s.colPtr = ptr
+	s.colIdx = idx[:outN]
+	s.colVal = val[:outN]
+}
+
+// initialValue places a nonbasic variable at a sensible bound.
+func initialValue(lb, ub float64) (float64, varStatus) {
+	switch {
+	case lb == ub:
+		return lb, nonbasicLower
+	case !math.IsInf(lb, -1) && (math.IsInf(ub, 1) || math.Abs(lb) <= math.Abs(ub)):
+		return lb, nonbasicLower
+	case !math.IsInf(ub, 1):
+		return ub, nonbasicUpper
+	default:
+		return 0, nonbasicFree
+	}
+}
+
+func (s *simplex) solve() (*Solution, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	n, m := s.n, s.m
+	// Initial basis: all logicals basic (B = -I).
+	for v := 0; v < n+m; v++ {
+		s.inBpos[v] = -1
+	}
+	for j := 0; j < n; j++ {
+		s.xval[j], s.status[j] = initialValue(s.lb[j], s.ub[j])
+	}
+	for i := 0; i < m; i++ {
+		v := n + i
+		s.basis[i] = v
+		s.status[v] = basic
+		s.inBpos[v] = i
+	}
+	for i := range s.binv {
+		s.binv[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		s.binv[i*m+i] = -1
+	}
+	s.recomputeXB()
+	if s.opts.StartBasis != nil {
+		if !s.installBasis(s.opts.StartBasis) {
+			// Fall back to the cold start: rebuild the trivial basis.
+			for v := 0; v < n+m; v++ {
+				s.inBpos[v] = -1
+			}
+			for j := 0; j < n; j++ {
+				s.xval[j], s.status[j] = initialValue(s.lb[j], s.ub[j])
+			}
+			for i := 0; i < m; i++ {
+				v := n + i
+				s.basis[i] = v
+				s.status[v] = basic
+				s.inBpos[v] = i
+			}
+			for i := range s.binv {
+				s.binv[i] = 0
+			}
+			for i := 0; i < m; i++ {
+				s.binv[i*m+i] = -1
+			}
+			s.recomputeXB()
+		}
+	}
+
+	iters := 0
+	sol, err := s.optimize(&iters)
+	if err == errSingularBasis {
+		// Numerical degradation corrupted the basis; restart once from the
+		// pristine logical basis.
+		s.resetToLogicalBasis()
+		sol, err = s.optimize(&iters)
+	}
+	return sol, err
+}
+
+// optimize runs phase 1 then perturbed-and-polished phase 2 from the
+// current basis.
+func (s *simplex) optimize(iters *int) (*Solution, error) {
+	st, err := s.run(1, iters)
+	if err != nil {
+		return nil, err
+	}
+	if st == Infeasible {
+		return &Solution{Status: Infeasible, Iterations: *iters}, nil
+	}
+	if st != Optimal { // iteration limit during phase 1
+		return &Solution{Status: IterLimit, Iterations: *iters}, nil
+	}
+	// Phase 2 runs with tiny deterministic cost perturbations: highly
+	// degenerate LPs (the CVaR formulations especially) stall for tens of
+	// thousands of pivots under unperturbed Dantzig pricing. The
+	// perturbation is far below the optimality tolerance per unit of
+	// activity; a polish pass with the true costs follows.
+	s.perturbCosts()
+	st, err = s.run(2, iters)
+	if err != nil {
+		return nil, err
+	}
+	switch st {
+	case Optimal:
+		// Polish with the true costs from the perturbed optimum.
+		copy(s.cost, s.trueCost)
+		st, err = s.run(2, iters)
+		if err != nil {
+			return nil, err
+		}
+	case Unbounded:
+		// A flat ray of the true objective can tilt negative under the
+		// perturbation; re-run unperturbed to decide.
+		copy(s.cost, s.trueCost)
+		st, err = s.run(2, iters)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		copy(s.cost, s.trueCost)
+	}
+	sol := s.extract(st)
+	sol.Iterations = *iters
+	return sol, nil
+}
+
+// perturbCosts applies a deterministic multiplicative jitter to every
+// cost coefficient (including the zero logical costs, which get an
+// absolute jitter) to break degenerate ties.
+func (s *simplex) perturbCosts() {
+	s.trueCost = append(s.trueCost[:0], s.cost...)
+	const base = 1e-9
+	for j := range s.cost {
+		h := uint64(j)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+		h ^= h >> 33
+		xi := 0.5 + float64(h%1024)/1024 // ∈ [0.5, 1.5)
+		s.cost[j] += base * xi * (1 + math.Abs(s.cost[j]))
+	}
+}
+
+func (s *simplex) validate() error {
+	for j := 0; j < s.n; j++ {
+		if s.lb[j] > s.ub[j] {
+			return fmt.Errorf("lp: column %q has lb %g > ub %g", s.p.colName[j], s.lb[j], s.ub[j])
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		if s.p.rowLB[i] > s.p.rowUB[i] {
+			return fmt.Errorf("lp: row %q has lb %g > ub %g", s.p.rowName[i], s.p.rowLB[i], s.p.rowUB[i])
+		}
+	}
+	return nil
+}
+
+// recomputeXB sets xB = -B⁻¹·(Σ_nonbasic F_j·x_j).
+func (s *simplex) recomputeXB() {
+	m := s.m
+	v := make([]float64, m)
+	for j := 0; j < s.n; j++ {
+		if s.status[j] == basic {
+			continue
+		}
+		x := s.xval[j]
+		if x == 0 {
+			continue
+		}
+		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+			v[s.colIdx[k]] += s.colVal[k] * x
+		}
+	}
+	for i := 0; i < m; i++ {
+		lv := s.n + i
+		if s.status[lv] != basic {
+			v[i] -= s.xval[lv] // logical column is -e_i
+		}
+	}
+	for i := 0; i < m; i++ {
+		sum := 0.0
+		row := s.binv[i*m : i*m+m]
+		for k := 0; k < m; k++ {
+			sum += row[k] * v[k]
+		}
+		s.xB[i] = -sum
+	}
+}
+
+// infeasibility returns the total bound violation of basic variables.
+func (s *simplex) infeasibility() float64 {
+	tot := 0.0
+	for i := 0; i < s.m; i++ {
+		v := s.basis[i]
+		if s.xB[i] > s.ub[v] {
+			tot += s.xB[i] - s.ub[v]
+		} else if s.xB[i] < s.lb[v] {
+			tot += s.lb[v] - s.xB[i]
+		}
+	}
+	return tot
+}
+
+// phaseCost fills cc with the active cost vector: phase 1 uses the
+// composite infeasibility gradient, phase 2 the true objective.
+func (s *simplex) phaseCost(phase int) {
+	tol := s.opts.Tol
+	if phase == 2 {
+		copy(s.cc, s.cost)
+		return
+	}
+	for k := range s.cc {
+		s.cc[k] = 0
+	}
+	for i := 0; i < s.m; i++ {
+		v := s.basis[i]
+		if s.xB[i] > s.ub[v]+tol {
+			s.cc[v] = 1
+		} else if s.xB[i] < s.lb[v]-tol {
+			s.cc[v] = -1
+		}
+	}
+}
+
+// computeY sets y = cc_B^T · B⁻¹.
+func (s *simplex) computeY() {
+	m := s.m
+	for k := 0; k < m; k++ {
+		s.y[k] = 0
+	}
+	for i := 0; i < m; i++ {
+		cb := s.cc[s.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[i*m : i*m+m]
+		for k := 0; k < m; k++ {
+			s.y[k] += cb * row[k]
+		}
+	}
+}
+
+// reducedCost of a nonbasic variable v: d_v = cc_v − y·F_v.
+func (s *simplex) reducedCost(v int) float64 {
+	d := s.cc[v]
+	if v >= s.n {
+		d += s.y[v-s.n] // logical column is -e_i
+		return d
+	}
+	for k := s.colPtr[v]; k < s.colPtr[v+1]; k++ {
+		d -= s.y[s.colIdx[k]] * s.colVal[k]
+	}
+	return d
+}
+
+// ftran sets w = B⁻¹·F_q.
+func (s *simplex) ftran(q int) {
+	m := s.m
+	for i := 0; i < m; i++ {
+		s.w[i] = 0
+	}
+	if q >= s.n {
+		r := q - s.n
+		for i := 0; i < m; i++ {
+			s.w[i] = -s.binv[i*m+r]
+		}
+		return
+	}
+	for k := s.colPtr[q]; k < s.colPtr[q+1]; k++ {
+		r := int(s.colIdx[k])
+		a := s.colVal[k]
+		for i := 0; i < m; i++ {
+			s.w[i] += s.binv[i*m+r] * a
+		}
+	}
+}
+
+// run executes simplex iterations for the given phase.
+func (s *simplex) run(phase int, iters *int) (Status, error) {
+	tol := s.opts.Tol
+	dualTol := math.Max(tol, 1e-9)
+	bland := false
+	stall := 0
+	lastObj := math.Inf(1)
+
+	for {
+		if *iters >= s.opts.MaxIters {
+			return IterLimit, nil
+		}
+		if s.sinceRefactor >= s.opts.RefactorEvery {
+			if err := s.refactor(); err != nil {
+				return 0, err
+			}
+		}
+		if phase == 1 {
+			inf := s.infeasibility()
+			if inf <= tol*float64(1+s.m) {
+				return Optimal, nil // feasible; caller proceeds to phase 2
+			}
+			if inf < lastObj-tol {
+				lastObj = inf
+				stall = 0
+			} else {
+				stall++
+			}
+		} else {
+			obj := s.currentObjective()
+			if obj < lastObj-tol {
+				lastObj = obj
+				stall = 0
+			} else {
+				stall++
+			}
+		}
+		if stall > 2000 {
+			bland = true
+		}
+
+		s.phaseCost(phase)
+		s.computeY()
+
+		q := s.price(dualTol, bland)
+		if q < 0 {
+			if phase == 1 {
+				// No improving direction but still infeasible. Retry once
+				// after a refactorization in case of numerical drift.
+				if s.sinceRefactor > 0 {
+					if err := s.refactor(); err != nil {
+						return 0, err
+					}
+					continue
+				}
+				return Infeasible, nil
+			}
+			return Optimal, nil
+		}
+
+		dq := s.reducedCost(q)
+		dir := 1.0
+		if s.status[q] == nonbasicUpper || (s.status[q] == nonbasicFree && dq > 0) {
+			dir = -1
+		}
+
+		s.ftran(q)
+
+		var t float64
+		var r int
+		if phase == 1 {
+			// Long-step ratio test: the phase-1 objective is piecewise
+			// linear along the direction, so keep crossing bound
+			// breakpoints while it still decreases. One long-step pivot
+			// replaces what can be thousands of degenerate short steps.
+			t, r = s.longStepRatio(q, dir, dq)
+		} else {
+			t, r = s.ratioTest(phase, q, dir)
+		}
+		if math.IsInf(t, 1) {
+			if phase == 1 {
+				return 0, errors.New("lp: unbounded phase-1 direction (numerical failure)")
+			}
+			return Unbounded, nil
+		}
+		*iters++
+		if r < 0 {
+			// Bound flip of the entering variable.
+			s.applyStep(t, dir)
+			if s.status[q] == nonbasicLower {
+				s.status[q] = nonbasicUpper
+				s.xval[q] = s.ub[q]
+			} else {
+				s.status[q] = nonbasicLower
+				s.xval[q] = s.lb[q]
+			}
+			continue
+		}
+		s.pivot(q, r, t, dir)
+	}
+}
+
+func (s *simplex) currentObjective() float64 {
+	obj := 0.0
+	for j := 0; j < s.n; j++ {
+		if s.cost[j] == 0 {
+			continue
+		}
+		if s.status[j] == basic {
+			obj += s.cost[j] * s.xB[s.inBpos[j]]
+		} else {
+			obj += s.cost[j] * s.xval[j]
+		}
+	}
+	return obj
+}
+
+// price selects an entering variable, or -1 if none improves.
+func (s *simplex) price(dualTol float64, bland bool) int {
+	best, bestScore := -1, dualTol
+	for v := 0; v < s.n+s.m; v++ {
+		st := s.status[v]
+		if st == basic {
+			continue
+		}
+		if s.ub[v]-s.lb[v] <= 0 { // fixed variable can never improve
+			continue
+		}
+		d := s.reducedCost(v)
+		var score float64
+		switch st {
+		case nonbasicLower:
+			score = -d
+		case nonbasicUpper:
+			score = d
+		case nonbasicFree:
+			score = math.Abs(d)
+		}
+		if score > bestScore {
+			if bland {
+				return v
+			}
+			best, bestScore = v, score
+		}
+	}
+	return best
+}
+
+// ratioTest finds the maximum step t for entering variable q moving in
+// direction dir. It returns (t, r) where r is the leaving basis position,
+// or r = -1 for a bound flip of q itself (or, with t = +Inf, an unbounded
+// ray).
+func (s *simplex) ratioTest(phase, q int, dir float64) (float64, int) {
+	tol := s.opts.Tol
+	t := math.Inf(1)
+	if !math.IsInf(s.lb[q], -1) && !math.IsInf(s.ub[q], 1) {
+		t = s.ub[q] - s.lb[q] // bound flip distance
+	}
+	r := -1
+	const pivTol = 1e-10
+	bestPiv := 0.0
+	for i := 0; i < s.m; i++ {
+		wi := s.w[i]
+		if math.Abs(wi) <= pivTol {
+			continue
+		}
+		v := s.basis[i]
+		delta := -dir * wi // rate of change of xB[i] per unit step
+		x := s.xB[i]
+		lo, hi := s.lb[v], s.ub[v]
+		if phase == 1 {
+			// An infeasible basic is limited only by the bound it violates
+			// as it moves back toward feasibility; moving further away is
+			// priced by the phase-1 cost, not blocked by the ratio test.
+			if x > hi+tol {
+				lo, hi = hi, math.Inf(1)
+			} else if x < lo-tol {
+				lo, hi = math.Inf(-1), lo
+			}
+		}
+		var ti float64
+		if delta > 0 {
+			if math.IsInf(hi, 1) {
+				continue
+			}
+			ti = (hi - x) / delta
+		} else {
+			if math.IsInf(lo, -1) {
+				continue
+			}
+			ti = (lo - x) / delta
+		}
+		if ti < 0 {
+			ti = 0
+		}
+		// Accept a strictly smaller ratio, or a near-tie with a larger
+		// pivot element (better numerical stability).
+		if ti < t-tol || (ti < t+tol && math.Abs(wi) > bestPiv) {
+			if ti < t {
+				t = ti
+			}
+			r = i
+			bestPiv = math.Abs(wi)
+		}
+	}
+	return t, r
+}
+
+// longStepRatio implements the piecewise-linear phase-1 ratio test. Along
+// the entering direction, the infeasibility sum decreases at rate |dq|
+// initially; every time a basic variable crosses a bound the rate worsens
+// by |w_i| (a feasible basic starts violating, or an infeasible one stops
+// improving). The optimal step stops at the breakpoint where the rate
+// turns nonnegative; the blocking basic there leaves the basis. The
+// entering variable's own bound span is one more breakpoint (a bound flip,
+// r = −1).
+func (s *simplex) longStepRatio(q int, dir, dq float64) (float64, int) {
+	tol := s.opts.Tol
+	const pivTol = 1e-10
+	type breakpoint struct {
+		t    float64
+		rate float64
+		i    int // basis position; -1 = entering variable's own bound
+	}
+	var bps []breakpoint
+	if !math.IsInf(s.lb[q], -1) && !math.IsInf(s.ub[q], 1) {
+		bps = append(bps, breakpoint{s.ub[q] - s.lb[q], math.Inf(1), -1})
+	}
+	for i := 0; i < s.m; i++ {
+		wi := s.w[i]
+		if math.Abs(wi) <= pivTol {
+			continue
+		}
+		v := s.basis[i]
+		delta := -dir * wi // rate of change of xB[i] per unit step
+		x := s.xB[i]
+		lo, hi := s.lb[v], s.ub[v]
+		add := func(bound float64) {
+			tk := (bound - x) / delta
+			if tk < 0 {
+				tk = 0
+			}
+			bps = append(bps, breakpoint{tk, math.Abs(wi), i})
+		}
+		switch {
+		case x > hi+tol: // infeasible above
+			if delta < 0 {
+				add(hi) // improvement ends at ub...
+				if !math.IsInf(lo, -1) {
+					add(lo) // ...and violation restarts at lb
+				}
+			}
+			// moving further up: no breakpoint (priced by the objective)
+		case x < lo-tol: // infeasible below
+			if delta > 0 {
+				add(lo)
+				if !math.IsInf(hi, 1) {
+					add(hi)
+				}
+			}
+		default: // feasible basic
+			if delta > 0 && !math.IsInf(hi, 1) {
+				add(hi)
+			} else if delta < 0 && !math.IsInf(lo, -1) {
+				add(lo)
+			}
+		}
+	}
+	if len(bps) == 0 {
+		return math.Inf(1), -1
+	}
+	sort.Slice(bps, func(a, b int) bool { return bps[a].t < bps[b].t })
+	rate := -math.Abs(dq) // current directional derivative (improving)
+	stop := 0
+	for k, bp := range bps {
+		stop = k
+		rate += bp.rate
+		if rate >= -tol {
+			break
+		}
+	}
+	// Among breakpoints within a whisker of the stopping step, pivot on
+	// the one with the largest |w| — tiny pivots degrade the basis inverse
+	// and eventually make refactorization singular.
+	bestT, bestR, bestRate := bps[stop].t, bps[stop].i, bps[stop].rate
+	for k := 0; k <= stop || (k < len(bps) && bps[k].t <= bestT+1e-9); k++ {
+		if k >= len(bps) {
+			break
+		}
+		bp := bps[k]
+		if bp.t >= bestT-1e-9 && bp.t <= bestT+1e-9 && bp.i >= 0 && bp.rate > bestRate {
+			bestR, bestRate = bp.i, bp.rate
+		}
+	}
+	if bestR == -1 {
+		return bestT, -1 // bound flip of the entering variable
+	}
+	return bestT, bestR
+}
+
+// applyStep moves the basic values for a step of size t in direction dir
+// along the current ftran column w.
+func (s *simplex) applyStep(t, dir float64) {
+	if t == 0 {
+		return
+	}
+	for i := 0; i < s.m; i++ {
+		s.xB[i] -= dir * t * s.w[i]
+	}
+}
+
+// pivot replaces basis position r with entering variable q after a step t.
+func (s *simplex) pivot(q, r int, t, dir float64) {
+	m := s.m
+	leaving := s.basis[r]
+	enterVal := s.xval[q] + dir*t
+	s.applyStep(t, dir)
+
+	// Settle the leaving variable on the nearest finite bound of its
+	// post-step value (in phase 1 an infeasible basic lands back on the
+	// bound it was violating, which is exactly the nearest one).
+	landed := s.xB[r]
+	lo, hi := s.lb[leaving], s.ub[leaving]
+	switch {
+	case !math.IsInf(lo, -1) && (math.IsInf(hi, 1) || math.Abs(landed-lo) <= math.Abs(landed-hi)):
+		s.status[leaving] = nonbasicLower
+		s.xval[leaving] = lo
+	case !math.IsInf(hi, 1):
+		s.status[leaving] = nonbasicUpper
+		s.xval[leaving] = hi
+	default:
+		// A free variable never blocks the ratio test; this only happens
+		// under numerical noise, in which case zero is the safe resting
+		// point.
+		s.status[leaving] = nonbasicFree
+		s.xval[leaving] = 0
+	}
+	s.inBpos[leaving] = -1
+
+	s.basis[r] = q
+	s.status[q] = basic
+	s.inBpos[q] = r
+	s.xB[r] = enterVal
+
+	// Update B⁻¹ with the elementary transformation for pivot element w[r].
+	piv := s.w[r]
+	brow := s.binv[r*m : r*m+m]
+	inv := 1 / piv
+	for k := 0; k < m; k++ {
+		brow[k] *= inv
+	}
+	for i := 0; i < m; i++ {
+		if i == r {
+			continue
+		}
+		f := s.w[i]
+		if f == 0 {
+			continue
+		}
+		row := s.binv[i*m : i*m+m]
+		for k := 0; k < m; k++ {
+			row[k] -= f * brow[k]
+		}
+	}
+	s.pivots++
+	s.sinceRefactor++
+}
+
+// refactor rebuilds the dense basis inverse from scratch and recomputes the
+// basic variable values.
+func (s *simplex) refactor() error {
+	m := s.m
+	if m == 0 {
+		s.sinceRefactor = 0
+		return nil
+	}
+	// Assemble B column-wise into a dense working matrix.
+	a := make([]float64, m*m)
+	for pos, v := range s.basis {
+		if v >= s.n {
+			a[(v-s.n)*m+pos] = -1
+		} else {
+			for k := s.colPtr[v]; k < s.colPtr[v+1]; k++ {
+				a[int(s.colIdx[k])*m+pos] = s.colVal[k]
+			}
+		}
+	}
+	inv := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		inv[i*m+i] = 1
+	}
+	// Gauss-Jordan with partial pivoting.
+	for c := 0; c < m; c++ {
+		p := c
+		best := math.Abs(a[c*m+c])
+		for i := c + 1; i < m; i++ {
+			if v := math.Abs(a[i*m+c]); v > best {
+				best, p = v, i
+			}
+		}
+		if best < 1e-12 {
+			return errSingularBasis
+		}
+		if p != c {
+			swapRows(a, m, p, c)
+			swapRows(inv, m, p, c)
+		}
+		pv := a[c*m+c]
+		invPv := 1 / pv
+		for k := 0; k < m; k++ {
+			a[c*m+k] *= invPv
+			inv[c*m+k] *= invPv
+		}
+		for i := 0; i < m; i++ {
+			if i == c {
+				continue
+			}
+			f := a[i*m+c]
+			if f == 0 {
+				continue
+			}
+			for k := 0; k < m; k++ {
+				a[i*m+k] -= f * a[c*m+k]
+				inv[i*m+k] -= f * inv[c*m+k]
+			}
+		}
+	}
+	copy(s.binv, inv)
+	s.sinceRefactor = 0
+	s.recomputeXB()
+	return nil
+}
+
+// resetToLogicalBasis rebuilds the trivial basis (all logicals basic,
+// structurals at their initial bounds) — the recovery point after numerical
+// failure.
+func (s *simplex) resetToLogicalBasis() {
+	n, m := s.n, s.m
+	for v := 0; v < n+m; v++ {
+		s.inBpos[v] = -1
+	}
+	for j := 0; j < n; j++ {
+		s.xval[j], s.status[j] = initialValue(s.lb[j], s.ub[j])
+	}
+	for i := 0; i < m; i++ {
+		v := n + i
+		s.basis[i] = v
+		s.status[v] = basic
+		s.inBpos[v] = i
+	}
+	for i := range s.binv {
+		s.binv[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		s.binv[i*m+i] = -1
+	}
+	s.sinceRefactor = 0
+	s.recomputeXB()
+}
+
+func swapRows(a []float64, m, i, j int) {
+	ri := a[i*m : i*m+m]
+	rj := a[j*m : j*m+m]
+	for k := 0; k < m; k++ {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// extract builds the public solution from the final basis.
+func (s *simplex) extract(st Status) *Solution {
+	n, m := s.n, s.m
+	sol := &Solution{
+		Status:   st,
+		X:        make([]float64, n),
+		RowDual:  make([]float64, m),
+		ColDual:  make([]float64, n),
+		RowValue: make([]float64, m),
+	}
+	for j := 0; j < n; j++ {
+		if s.status[j] == basic {
+			sol.X[j] = s.xB[s.inBpos[j]]
+		} else {
+			sol.X[j] = s.xval[j]
+		}
+	}
+	for i := 0; i < m; i++ {
+		lv := n + i
+		if s.status[lv] == basic {
+			sol.RowValue[i] = s.xB[s.inBpos[lv]]
+		} else {
+			sol.RowValue[i] = s.xval[lv]
+		}
+	}
+	copy(s.cc, s.cost)
+	s.computeY()
+	for i := 0; i < m; i++ {
+		sol.RowDual[i] = s.y[i]
+	}
+	for j := 0; j < n; j++ {
+		if s.status[j] == basic {
+			sol.ColDual[j] = 0
+		} else {
+			sol.ColDual[j] = s.reducedCost(j)
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += s.cost[j] * sol.X[j]
+	}
+	sol.Objective = obj
+	sol.basis = s.snapshotBasis()
+	return sol
+}

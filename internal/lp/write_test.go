@@ -1,0 +1,61 @@
+package lp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteLPFormat(t *testing.T) {
+	p := NewProblem()
+	x := p.AddCol("x", 0, 4, 2)
+	y := p.AddCol("y[1]", -Inf, Inf, -1)
+	z := p.AddCol("z", 1, 1, 0)
+	p.AddLE("cap", 10, Entry{x, 1}, Entry{y, 3})
+	p.AddGE("dem", 2, Entry{x, 1}, Entry{y, -1})
+	p.AddRow("rng", 1, 5, Entry{x, 2})
+	p.AddEQ("eq", 7, Entry{y, 1}, Entry{z, 1})
+	var b strings.Builder
+	if err := p.WriteLP(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Minimize", "Subject To", "Bounds", "End",
+		"<= 10", ">= 2", ">= 1", "<= 5", "= 7",
+		"c1_y_1_ free", "c2_z = 1", "0 <= c0_x <= 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("LP output missing %q:\n%s", want, out)
+		}
+	}
+	// Negative objective coefficient renders with a minus.
+	if !strings.Contains(out, "- 1 c1_y_1_") {
+		t.Fatalf("objective term rendering wrong:\n%s", out)
+	}
+}
+
+func TestWriteLPEmptyObjective(t *testing.T) {
+	p := NewProblem()
+	p.AddCol("x", 0, 1, 0)
+	p.AddGE("r", 0.5, Entry{0, 1})
+	var b strings.Builder
+	if err := p.WriteLP(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "0 c0_x") {
+		t.Fatalf("zero objective placeholder missing:\n%s", b.String())
+	}
+}
+
+func TestWriteLPDuplicateMerge(t *testing.T) {
+	p := NewProblem()
+	x := p.AddCol("x", 0, Inf, 1)
+	p.AddGE("r", 6, Entry{x, 1}, Entry{x, 2})
+	var b strings.Builder
+	if err := p.WriteLP(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "3 c0_x") {
+		t.Fatalf("duplicate entries not merged:\n%s", b.String())
+	}
+}

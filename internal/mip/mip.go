@@ -1,0 +1,323 @@
+// Package mip implements a branch-and-bound solver for mixed binary
+// programs on top of the lp package.
+//
+// It supports problems whose integer variables are all binary, which covers
+// both optimization models in the paper: the critical-scenario master
+// problem (M) and the direct formulation (I). The solver offers best-first
+// search with most-fractional branching, a pluggable rounding heuristic for
+// fast incumbents, warm-start incumbents, and node/gap limits — the master
+// problem in the decomposition only needs good feasible solutions quickly,
+// not proofs of optimality.
+package mip
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"flexile/internal/lp"
+)
+
+// Problem is a binary MIP: the LP relaxation plus a set of columns that
+// must take value 0 or 1.
+type Problem struct {
+	LP     *lp.Problem
+	Binary []int
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means the incumbent was proven optimal (within the gap).
+	Optimal Status = iota
+	// Feasible means a limit was hit but an integer solution is available.
+	Feasible
+	// Infeasible means no integer-feasible point exists.
+	Infeasible
+	// Unbounded means the LP relaxation is unbounded.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	X         []float64
+	// Bound is the best proven lower bound on the optimum.
+	Bound float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+// Options tunes the search.
+type Options struct {
+	// MaxNodes bounds the number of explored nodes; 0 means 10000.
+	MaxNodes int
+	// RelGap stops the search when (incumbent − bound) ≤ RelGap·|incumbent|;
+	// 0 means 1e-6.
+	RelGap float64
+	// IntTol is the integrality tolerance; 0 means 1e-6.
+	IntTol float64
+	// LP tunes the relaxation solves.
+	LP lp.Options
+	// Heuristic, if set, receives a fractional relaxation solution and may
+	// return suggested 0/1 values for the binary columns (same order as
+	// Problem.Binary). The solver completes the suggestion by fixing the
+	// binaries and re-solving the LP.
+	Heuristic func(frac []float64) []float64
+	// WarmBinary, if set, is a 0/1 assignment of the binary columns tried
+	// as an initial incumbent.
+	WarmBinary []float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 10000
+	}
+	if o.RelGap == 0 {
+		o.RelGap = 1e-6
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	return o
+}
+
+type node struct {
+	bound float64 // LP bound inherited from the parent
+	fixes []fix
+	// basis warm-starts the node's LP from its parent's optimal basis —
+	// the child differs only in one binary's bounds, so re-solving
+	// typically takes a handful of pivots.
+	basis *lp.Basis
+}
+
+type fix struct {
+	col int
+	val float64
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Solve runs branch and bound.
+func Solve(p *Problem, opts Options) (*Solution, error) {
+	opts = opts.withDefaults()
+	lpp := p.LP
+	nb := len(p.Binary)
+
+	// Remember the original bounds of the binary columns so the problem can
+	// be restored after the solve.
+	origLB := make([]float64, nb)
+	origUB := make([]float64, nb)
+	for k, j := range p.Binary {
+		origLB[k], origUB[k] = colBounds(lpp, j)
+	}
+	defer func() {
+		for k, j := range p.Binary {
+			lpp.SetColBounds(j, origLB[k], origUB[k])
+		}
+	}()
+
+	applyFixes := func(fixes []fix) {
+		for k, j := range p.Binary {
+			lpp.SetColBounds(j, origLB[k], origUB[k])
+		}
+		for _, f := range fixes {
+			lpp.SetColBounds(f.col, f.val, f.val)
+		}
+	}
+
+	sol := &Solution{Status: Infeasible, Objective: math.Inf(1), Bound: math.Inf(-1)}
+	var best []float64
+
+	tryIncumbent := func(binVals []float64, basis *lp.Basis) {
+		fixes := make([]fix, nb)
+		for k, j := range p.Binary {
+			v := 0.0
+			if binVals[k] > 0.5 {
+				v = 1
+			}
+			fixes[k] = fix{j, v}
+		}
+		applyFixes(fixes)
+		lo := opts.LP
+		lo.StartBasis = basis
+		ls, err := lpp.SolveOpts(lo)
+		if err != nil || ls.Status != lp.Optimal {
+			return
+		}
+		if ls.Objective < sol.Objective {
+			sol.Objective = ls.Objective
+			best = append([]float64(nil), ls.X...)
+		}
+	}
+
+	if opts.WarmBinary != nil {
+		if len(opts.WarmBinary) != nb {
+			return nil, fmt.Errorf("mip: warm start has %d values, want %d", len(opts.WarmBinary), nb)
+		}
+		tryIncumbent(opts.WarmBinary, nil)
+	}
+
+	h := &nodeHeap{{bound: math.Inf(-1)}}
+	heap.Init(h)
+
+	for h.Len() > 0 && sol.Nodes < opts.MaxNodes {
+		nd := heap.Pop(h).(*node)
+		if nd.bound >= sol.Objective-opts.RelGap*math.Abs(sol.Objective)-1e-12 {
+			// The global bound is the smallest remaining node bound.
+			sol.Bound = math.Max(sol.Bound, nd.bound)
+			break
+		}
+		sol.Nodes++
+		applyFixes(nd.fixes)
+		lo := opts.LP
+		lo.StartBasis = nd.basis
+		ls, err := lpp.SolveOpts(lo)
+		if err != nil {
+			return nil, err
+		}
+		switch ls.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			if len(nd.fixes) == 0 {
+				sol.Status = Unbounded
+				return sol, nil
+			}
+			continue
+		case lp.IterLimit:
+			// Treat as an unreliable bound: keep the node's inherited bound.
+		}
+		nodeBound := ls.Objective
+		if ls.Status != lp.Optimal {
+			nodeBound = nd.bound
+		}
+		if nodeBound >= sol.Objective-opts.RelGap*math.Abs(sol.Objective)-1e-12 {
+			continue
+		}
+
+		// Find the most fractional binary.
+		brCol, brFrac := -1, 0.0
+		for _, j := range p.Binary {
+			f := ls.X[j] - math.Floor(ls.X[j])
+			fr := math.Min(f, 1-f)
+			if fr > opts.IntTol && fr > brFrac {
+				brFrac, brCol = fr, j
+			}
+		}
+		if brCol < 0 {
+			// Integer feasible.
+			if ls.Objective < sol.Objective {
+				sol.Objective = ls.Objective
+				best = append([]float64(nil), ls.X...)
+			}
+			continue
+		}
+		if opts.Heuristic != nil {
+			frac := make([]float64, nb)
+			for k, j := range p.Binary {
+				frac[k] = ls.X[j]
+			}
+			if sug := opts.Heuristic(frac); sug != nil {
+				tryIncumbent(sug, ls.Basis())
+			}
+		}
+		// Branch: prefer the side the relaxation leans toward first (it is
+		// popped earlier under equal bounds because heap order is stable
+		// enough for our purposes; both children inherit the node bound).
+		up := &node{bound: nodeBound, basis: ls.Basis(), fixes: append(append([]fix(nil), nd.fixes...), fix{brCol, 1})}
+		dn := &node{bound: nodeBound, basis: ls.Basis(), fixes: append(append([]fix(nil), nd.fixes...), fix{brCol, 0})}
+		heap.Push(h, up)
+		heap.Push(h, dn)
+	}
+
+	if best == nil {
+		sol.Status = Infeasible
+		return sol, nil
+	}
+	sol.X = best
+	if h.Len() == 0 {
+		sol.Bound = sol.Objective
+		sol.Status = Optimal
+	} else {
+		// Remaining nodes define the proven bound.
+		low := sol.Objective
+		for _, nd := range *h {
+			if nd.bound < low {
+				low = nd.bound
+			}
+		}
+		sol.Bound = low
+		if low >= sol.Objective-opts.RelGap*math.Abs(sol.Objective)-1e-12 {
+			sol.Status = Optimal
+		} else {
+			sol.Status = Feasible
+		}
+	}
+	return sol, nil
+}
+
+// colBounds reads back the bounds of column j (helper over the lp API).
+func colBounds(p *lp.Problem, j int) (float64, float64) {
+	return p.ColLB(j), p.ColUB(j)
+}
+
+// RoundGreedyCover is a heuristic builder for covering problems of the form
+// Σ_q p_q·z_q ≥ β per group: given per-column weights and group membership,
+// it rounds a fractional z by greedily selecting, per group, the columns
+// with the largest fractional value (ties: larger weight) until the group's
+// coverage target is met.
+func RoundGreedyCover(groups [][]int, weights []float64, targets []float64) func([]float64) []float64 {
+	return func(frac []float64) []float64 {
+		out := make([]float64, len(frac))
+		for g, cols := range groups {
+			order := append([]int(nil), cols...)
+			sort.Slice(order, func(a, b int) bool {
+				fa, fb := frac[order[a]], frac[order[b]]
+				if fa != fb {
+					return fa > fb
+				}
+				return weights[order[a]] > weights[order[b]]
+			})
+			covered := 0.0
+			for _, k := range order {
+				if covered >= targets[g] {
+					break
+				}
+				out[k] = 1
+				covered += weights[k]
+			}
+		}
+		return out
+	}
+}

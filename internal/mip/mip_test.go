@@ -1,0 +1,275 @@
+package mip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flexile/internal/lp"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= 1e-6*(1+math.Abs(a)+math.Abs(b)) }
+
+// knapsack: max Σ v_i x_i s.t. Σ w_i x_i ≤ C, x binary.
+func knapsack(t *testing.T, values, weights []float64, cap float64) (*Solution, []int) {
+	t.Helper()
+	p := lp.NewProblem()
+	var bins []int
+	var es []lp.Entry
+	for i := range values {
+		j := p.AddCol("x", 0, 1, -values[i])
+		bins = append(bins, j)
+		es = append(es, lp.Entry{Col: j, Coef: weights[i]})
+	}
+	p.AddLE("cap", cap, es...)
+	s, err := Solve(&Problem{LP: p, Binary: bins}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, bins
+}
+
+func TestKnapsack(t *testing.T) {
+	// Classic: values {60,100,120}, weights {10,20,30}, cap 50 → 220.
+	s, _ := knapsack(t, []float64{60, 100, 120}, []float64{10, 20, 30}, 50)
+	if s.Status != Optimal || !approx(s.Objective, -220) {
+		t.Fatalf("status=%v obj=%v want -220", s.Status, s.Objective)
+	}
+}
+
+func TestKnapsackAllFit(t *testing.T) {
+	s, _ := knapsack(t, []float64{1, 2, 3}, []float64{1, 1, 1}, 10)
+	if s.Status != Optimal || !approx(s.Objective, -6) {
+		t.Fatalf("obj=%v want -6", s.Objective)
+	}
+}
+
+func TestSetCover(t *testing.T) {
+	// Universe {1..4}; sets {1,2}, {2,3}, {3,4}, {1,4}, costs 1 each.
+	// Optimal cover = 2 sets.
+	sets := [][]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}}
+	p := lp.NewProblem()
+	var bins []int
+	for range sets {
+		bins = append(bins, p.AddCol("s", 0, 1, 1))
+	}
+	for e := 0; e < 4; e++ {
+		var es []lp.Entry
+		for si, set := range sets {
+			for _, el := range set {
+				if el == e {
+					es = append(es, lp.Entry{Col: bins[si], Coef: 1})
+				}
+			}
+		}
+		p.AddGE("cover", 1, es...)
+	}
+	s, err := Solve(&Problem{LP: p, Binary: bins}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.Objective, 2) {
+		t.Fatalf("status=%v obj=%v want 2", s.Status, s.Objective)
+	}
+}
+
+func TestInfeasibleMIP(t *testing.T) {
+	p := lp.NewProblem()
+	x := p.AddCol("x", 0, 1, 1)
+	y := p.AddCol("y", 0, 1, 1)
+	p.AddGE("r", 3, lp.Entry{Col: x, Coef: 1}, lp.Entry{Col: y, Coef: 1})
+	s, err := Solve(&Problem{LP: p, Binary: []int{x, y}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status=%v want infeasible", s.Status)
+	}
+}
+
+// Fractional LP relaxation must be cut off by integrality: min x+y with
+// x+y ≥ 1.5, binaries → optimal integer cost 2.
+func TestIntegralityGap(t *testing.T) {
+	p := lp.NewProblem()
+	x := p.AddCol("x", 0, 1, 1)
+	y := p.AddCol("y", 0, 1, 1)
+	p.AddGE("r", 1.5, lp.Entry{Col: x, Coef: 1}, lp.Entry{Col: y, Coef: 1})
+	s, err := Solve(&Problem{LP: p, Binary: []int{x, y}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.Objective, 2) {
+		t.Fatalf("obj=%v want 2", s.Objective)
+	}
+}
+
+// Mixed problem: continuous completion must be optimized for fixed binaries.
+func TestMixedBinaryContinuous(t *testing.T) {
+	// min 10·z + c  s.t. c ≥ 5 − 4·z, c ≥ 0, z binary.
+	// z=0 → cost 5; z=1 → cost 10+1=11. Optimal z=0, obj 5.
+	p := lp.NewProblem()
+	z := p.AddCol("z", 0, 1, 10)
+	c := p.AddCol("c", 0, lp.Inf, 1)
+	p.AddGE("r", 5, lp.Entry{Col: c, Coef: 1}, lp.Entry{Col: z, Coef: 4})
+	s, err := Solve(&Problem{LP: p, Binary: []int{z}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.Objective, 5) {
+		t.Fatalf("obj=%v want 5", s.Objective)
+	}
+	if s.X[z] > 0.5 {
+		t.Fatalf("z=%v want 0", s.X[z])
+	}
+}
+
+func TestWarmStartAndNodeLimit(t *testing.T) {
+	// With MaxNodes=1 the warm start is the only incumbent source.
+	values := []float64{10, 13, 7, 8, 9, 4}
+	weights := []float64{3, 4, 2, 3, 3, 1}
+	p := lp.NewProblem()
+	var bins []int
+	var es []lp.Entry
+	for i := range values {
+		j := p.AddCol("x", 0, 1, -values[i])
+		bins = append(bins, j)
+		es = append(es, lp.Entry{Col: j, Coef: weights[i]})
+	}
+	p.AddLE("cap", 7, es...)
+	warm := []float64{1, 1, 0, 0, 0, 0}
+	s, err := Solve(&Problem{LP: p, Binary: bins}, Options{MaxNodes: 1, WarmBinary: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status == Infeasible {
+		t.Fatal("warm start should give an incumbent")
+	}
+	if s.Objective > -23+1e-9 {
+		t.Fatalf("incumbent %v worse than warm start -23", s.Objective)
+	}
+}
+
+func TestHeuristicIncumbent(t *testing.T) {
+	called := false
+	p := lp.NewProblem()
+	x := p.AddCol("x", 0, 1, -3)
+	y := p.AddCol("y", 0, 1, -2)
+	p.AddLE("cap", 1.5, lp.Entry{Col: x, Coef: 1}, lp.Entry{Col: y, Coef: 1})
+	h := func(frac []float64) []float64 {
+		called = true
+		return []float64{1, 0}
+	}
+	s, err := Solve(&Problem{LP: p, Binary: []int{x, y}}, Options{Heuristic: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("heuristic was not invoked")
+	}
+	if s.Status != Optimal || !approx(s.Objective, -3) {
+		t.Fatalf("obj=%v want -3", s.Objective)
+	}
+}
+
+// Random knapsacks cross-checked against exhaustive enumeration.
+func TestRandomKnapsackExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(8)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := range values {
+			values[i] = 1 + rng.Float64()*9
+			weights[i] = 1 + rng.Float64()*9
+		}
+		cap := rng.Float64() * 5 * float64(n)
+		// Exhaustive optimum.
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			v, w := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					v += values[i]
+					w += weights[i]
+				}
+			}
+			if w <= cap+1e-12 && v > best {
+				best = v
+			}
+		}
+		s, _ := knapsack(t, values, weights, cap)
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		if !approx(-s.Objective, best) {
+			t.Fatalf("trial %d: mip %v vs exhaustive %v", trial, -s.Objective, best)
+		}
+	}
+}
+
+func TestRoundGreedyCover(t *testing.T) {
+	// Two groups over four columns; weights are probabilities.
+	groups := [][]int{{0, 1}, {2, 3}}
+	weights := []float64{0.6, 0.5, 0.9, 0.2}
+	targets := []float64{0.9, 0.8}
+	h := RoundGreedyCover(groups, weights, targets)
+	out := h([]float64{0.9, 0.4, 0.2, 0.8})
+	// Group 0: picks col0 (0.6) then col1 → covered 1.1 ≥ 0.9.
+	if out[0] != 1 || out[1] != 1 {
+		t.Fatalf("group 0 rounding: %v", out)
+	}
+	// Group 1: col3 has higher fractional (0.8) → picked first (0.2), then
+	// col2 (0.9) → covered 1.1.
+	if out[3] != 1 || out[2] != 1 {
+		t.Fatalf("group 1 rounding: %v", out)
+	}
+}
+
+func TestBoundsRestoredAfterSolve(t *testing.T) {
+	p := lp.NewProblem()
+	x := p.AddCol("x", 0, 1, -1)
+	p.AddLE("r", 1, lp.Entry{Col: x, Coef: 1})
+	if _, err := Solve(&Problem{LP: p, Binary: []int{x}}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if p.ColLB(x) != 0 || p.ColUB(x) != 1 {
+		t.Fatalf("bounds not restored: [%v,%v]", p.ColLB(x), p.ColUB(x))
+	}
+}
+
+// Property: the reported bound never exceeds the incumbent objective (for
+// minimization) and equals it on proven-optimal solves.
+func TestBoundSandwich(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + rng.Intn(6)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := range values {
+			values[i] = 1 + rng.Float64()*9
+			weights[i] = 1 + rng.Float64()*9
+		}
+		p := lp.NewProblem()
+		var bins []int
+		var es []lp.Entry
+		for i := range values {
+			j := p.AddCol("x", 0, 1, -values[i])
+			bins = append(bins, j)
+			es = append(es, lp.Entry{Col: j, Coef: weights[i]})
+		}
+		p.AddLE("cap", rng.Float64()*4*float64(n), es...)
+		s, err := Solve(&Problem{LP: p, Binary: bins}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Status == Infeasible {
+			continue
+		}
+		if s.Bound > s.Objective+1e-6 {
+			t.Fatalf("trial %d: bound %v above objective %v", trial, s.Bound, s.Objective)
+		}
+		if s.Status == Optimal && s.Bound < s.Objective-1e-4*(1+-s.Objective) {
+			t.Fatalf("trial %d: optimal but bound %v < obj %v", trial, s.Bound, s.Objective)
+		}
+	}
+}

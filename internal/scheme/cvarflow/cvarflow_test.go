@@ -1,0 +1,130 @@
+package cvarflow
+
+import (
+	"math"
+	"testing"
+
+	"flexile/internal/eval"
+	"flexile/internal/failure"
+	"flexile/internal/te"
+	"flexile/internal/topo"
+	"flexile/internal/tunnels"
+)
+
+func triangleInstance() *te.Instance {
+	tp := topo.Triangle()
+	inst := te.NewInstance(tp, []te.Class{
+		{Name: "single", Beta: 0.99, Weight: 1, Tunnels: tunnels.SingleClass(3)},
+	})
+	inst.Demand[0][0] = 1
+	inst.Demand[0][1] = 1
+	inst.LinkProbs = []float64{0.01, 0.01, 0.01}
+	inst.Scenarios = failure.Enumerate(inst.LinkProbs, 0)
+	return inst
+}
+
+// TestProposition2Bound: both CVaR generalizations stay at ≥48.51% loss on
+// the Fig. 1 triangle although the optimum is zero — the paper's
+// Proposition 2.
+func TestProposition2Bound(t *testing.T) {
+	inst := triangleInstance()
+	for _, s := range []interface {
+		Name() string
+		Route(*te.Instance) (*te.Routing, error)
+	}{&St{}, &Ad{}} {
+		r, err := s.Route(inst)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := r.CheckCapacity(inst, 1e-5); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		pl := eval.PercLoss(inst, r.LossMatrix(inst), 0)
+		if pl < 0.4851-1e-6 {
+			t.Fatalf("%s PercLoss %v below the Prop. 2 bound", s.Name(), pl)
+		}
+	}
+}
+
+// TestAdAdaptsStDoesNot: Ad's allocation may differ per scenario; St's is
+// the same static vector masked by liveness.
+func TestAdAdaptsStDoesNot(t *testing.T) {
+	inst := triangleInstance()
+	rSt, err := (&St{}).Route(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for ti := range inst.Tunnels[0][i] {
+			base := rSt.X[0][0][i][ti]
+			for q, scen := range inst.Scenarios {
+				got := rSt.X[q][0][i][ti]
+				if inst.TunnelAlive(0, i, ti, scen) && math.Abs(got-base) > 1e-9 {
+					t.Fatalf("St adapted allocation in scenario %d", q)
+				}
+			}
+		}
+	}
+}
+
+// TestAdNoWorseThanSt: adaptive routing can only improve the optimized
+// CVaR objective; empirically its realized PercLoss should not be
+// dramatically worse either (paper: Cvar-Flow-Ad ≤ Cvar-Flow-St in the
+// aggregate).
+func TestAdNoWorseThanSt(t *testing.T) {
+	tp := topo.MustLoad("Sprint")
+	inst := te.NewInstance(tp, []te.Class{
+		{Name: "single", Beta: 0.99, Weight: 1, Tunnels: tunnels.SingleClass(3)},
+	})
+	for i := range inst.Pairs {
+		inst.Demand[0][i] = 12
+	}
+	probs := failure.WeibullProbs(tp.G, 6, failure.WeibullParams{Median: 0.003})
+	inst.LinkProbs = probs
+	scens := failure.Enumerate(probs, 1e-3)
+	if len(scens) > 10 {
+		scens = scens[:10]
+	}
+	inst.Scenarios = scens
+	cov := failure.Coverage(scens)
+	inst.Classes[0].Beta = math.Min(0.99, 1-8*(1-cov))
+
+	rSt, err := (&St{}).Route(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAd, err := (&Ad{}).Route(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plSt := eval.PercLoss(inst, rSt.LossMatrix(inst), 0)
+	plAd := eval.PercLoss(inst, rAd.LossMatrix(inst), 0)
+	// CVaR optimizes an overestimate, so the realized percentile is not
+	// strictly ordered; allow modest slack but catch gross inversions.
+	if plAd > plSt+0.15 {
+		t.Fatalf("Ad %v much worse than St %v", plAd, plSt)
+	}
+}
+
+func TestRejectsMultiClassAndBetaOne(t *testing.T) {
+	tp := topo.Triangle()
+	multi := te.NewInstance(tp, []te.Class{
+		{Name: "a", Beta: 0.9, Weight: 1, Tunnels: tunnels.SingleClass(3)},
+		{Name: "b", Beta: 0.9, Weight: 1, Tunnels: tunnels.SingleClass(3)},
+	})
+	multi.Scenarios = []failure.Scenario{{Prob: 1}}
+	if _, err := (&St{}).Route(multi); err == nil {
+		t.Fatal("St should reject multi-class")
+	}
+	if _, err := (&Ad{}).Route(multi); err == nil {
+		t.Fatal("Ad should reject multi-class")
+	}
+	one := triangleInstance()
+	one.Classes[0].Beta = 1
+	if _, err := (&St{}).Route(one); err == nil {
+		t.Fatal("St should reject beta = 1")
+	}
+	if _, err := (&Ad{}).Route(one); err == nil {
+		t.Fatal("Ad should reject beta = 1")
+	}
+}

@@ -1,0 +1,101 @@
+package flexile
+
+// CriticalSet is the compact flow×scenario bitmap of critical-scenario
+// decisions (z_fq). §4.3 notes this is the only extra state the controller
+// stores beyond existing TE schemes: one bit per (flow, scenario) — about
+// 1.25 MB for a 100-node network with 1000 scenarios and two classes.
+type CriticalSet struct {
+	flows, scens int
+	bits         []uint64
+}
+
+// NewCriticalSet allocates an all-zero bitmap.
+func NewCriticalSet(flows, scens int) *CriticalSet {
+	n := flows * scens
+	return &CriticalSet{flows: flows, scens: scens, bits: make([]uint64, (n+63)/64)}
+}
+
+func (c *CriticalSet) idx(f, q int) (int, uint64) {
+	b := f*c.scens + q
+	return b >> 6, 1 << uint(b&63)
+}
+
+// Set marks scenario q critical (or not) for flow f.
+func (c *CriticalSet) Set(f, q int, v bool) {
+	w, m := c.idx(f, q)
+	if v {
+		c.bits[w] |= m
+	} else {
+		c.bits[w] &^= m
+	}
+}
+
+// Get reports whether scenario q is critical for flow f.
+func (c *CriticalSet) Get(f, q int) bool {
+	w, m := c.idx(f, q)
+	return c.bits[w]&m != 0
+}
+
+// Flows returns the flow-dimension size.
+func (c *CriticalSet) Flows() int { return c.flows }
+
+// Scenarios returns the scenario-dimension size.
+func (c *CriticalSet) Scenarios() int { return c.scens }
+
+// CountForFlow returns how many scenarios are critical for flow f.
+func (c *CriticalSet) CountForFlow(f int) int {
+	n := 0
+	for q := 0; q < c.scens; q++ {
+		if c.Get(f, q) {
+			n++
+		}
+	}
+	return n
+}
+
+// ByteSize reports the storage footprint in bytes.
+func (c *CriticalSet) ByteSize() int { return len(c.bits) * 8 }
+
+// Clone deep-copies the bitmap.
+func (c *CriticalSet) Clone() *CriticalSet {
+	out := &CriticalSet{flows: c.flows, scens: c.scens, bits: append([]uint64(nil), c.bits...)}
+	return out
+}
+
+// Equal reports whether two bitmaps agree everywhere.
+func (c *CriticalSet) Equal(o *CriticalSet) bool {
+	if c.flows != o.flows || c.scens != o.scens {
+		return false
+	}
+	for i := range c.bits {
+		if c.bits[i] != o.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ScenarioEqual reports whether column q matches between two bitmaps —
+// used by the pruning rule "skip scenarios whose critical flows did not
+// change" (§4.2).
+func (c *CriticalSet) ScenarioEqual(o *CriticalSet, q int) bool {
+	for f := 0; f < c.flows; f++ {
+		if c.Get(f, q) != o.Get(f, q) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hamming returns the number of differing bits.
+func (c *CriticalSet) Hamming(o *CriticalSet) int {
+	n := 0
+	for i := range c.bits {
+		x := c.bits[i] ^ o.bits[i]
+		for x != 0 {
+			x &= x - 1
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,98 @@
+package flexile
+
+import (
+	"strings"
+	"testing"
+
+	"flexile/internal/te"
+	"flexile/internal/topo"
+	"flexile/internal/tunnels"
+)
+
+// TestOfflineNoScenarios: a clear error, not a panic.
+func TestOfflineNoScenarios(t *testing.T) {
+	tp := topo.Triangle()
+	inst := te.NewInstance(tp, []te.Class{
+		{Name: "s", Beta: 0.99, Weight: 1, Tunnels: tunnels.SingleClass(3)},
+	})
+	if _, err := Offline(inst, Options{}); err == nil || !strings.Contains(err.Error(), "no scenarios") {
+		t.Fatalf("want no-scenarios error, got %v", err)
+	}
+}
+
+// TestOnlineScenarioOutOfRange: bounds-checked.
+func TestOnlineScenarioOutOfRange(t *testing.T) {
+	inst := triangleInstance()
+	off, err := Offline(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Online(inst, off, -1, Options{}); err == nil {
+		t.Fatal("want out-of-range error for q=-1")
+	}
+	if _, err := Online(inst, off, len(inst.Scenarios), Options{}); err == nil {
+		t.Fatal("want out-of-range error for q=len")
+	}
+}
+
+// TestOfflineZeroDemandInstance: no demanded flows means a trivially
+// perfect design, not a crash.
+func TestOfflineZeroDemandInstance(t *testing.T) {
+	inst := triangleInstance()
+	for i := range inst.Pairs {
+		inst.Demand[0][i] = 0
+	}
+	off, err := Offline(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.PercLoss[0] != 0 {
+		t.Fatalf("zero-demand PercLoss = %v", off.PercLoss[0])
+	}
+}
+
+// TestSchemeRouteIsRepeatable: Route is deterministic run to run.
+func TestSchemeRouteIsRepeatable(t *testing.T) {
+	inst := triangleInstance()
+	a, err := (&Scheme{}).Route(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&Scheme{}).Route(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range inst.Scenarios {
+		for k := range inst.Classes {
+			for i := range inst.Pairs {
+				for ti := range a.X[q][k][i] {
+					if a.X[q][k][i][ti] != b.X[q][k][i][ti] {
+						t.Fatalf("nondeterministic routing at q=%d k=%d i=%d t=%d", q, k, i, ti)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAugmentRespectsMaxAug: a cap that makes the target unreachable must
+// surface as non-convergence, not a wrong answer.
+func TestAugmentRespectsMaxAug(t *testing.T) {
+	inst := triangleInstance()
+	inst.ScaleDemands(3) // needs lots of extra capacity
+	maxAug := []float64{0.01, 0.01, 0.01}
+	res, err := Augment(inst, AugmentOptions{MaxAug: maxAug, MaxIterations: 4})
+	if err == nil {
+		// If it converged, the deltas must respect the caps and the target.
+		for e, d := range res.Delta {
+			if d > maxAug[e]+1e-9 {
+				t.Fatalf("delta[%d]=%v exceeds cap", e, d)
+			}
+		}
+		for _, pl := range res.AchievedPercLoss {
+			if pl > 1e-6 {
+				t.Fatalf("claimed convergence with residual loss %v", pl)
+			}
+		}
+	}
+}

@@ -1,0 +1,586 @@
+package flexile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"flexile/internal/eval"
+	"flexile/internal/lp"
+	"flexile/internal/mip"
+	"flexile/internal/te"
+)
+
+// Options tunes Flexile's offline decomposition (§4.2) and online phase.
+type Options struct {
+	// MaxIterations bounds the decomposition loop; 0 means 5 (the paper's
+	// setting).
+	MaxIterations int
+	// HammingLimit caps how many z bits may flip between master solutions
+	// (stabilization, appendix eq. 23); 0 means max(32, bits/16).
+	HammingLimit int
+	// MasterNodes bounds the branch-and-bound nodes per master solve;
+	// 0 means 120 (the master only needs good feasible points, which the
+	// warm start and the greedy-cover rounding provide early).
+	MasterNodes int
+	// SharedCutRounds is how many separation rounds materialize violated
+	// shared cuts g^q_{q'} per master solve; 0 means 1, negative disables
+	// cut sharing entirely.
+	SharedCutRounds int
+	// SharedCutLimit caps how many shared-cut rows are added per
+	// separation round; 0 means 150.
+	SharedCutLimit int
+	// Gamma, when ≥ 0, bounds every connected flow's loss in scenario q to
+	// γ + optimal ScenLoss_q (§4.4). Negative disables the bound. Cut
+	// sharing is disabled in this mode (scenario LPs stop sharing a dual
+	// space once their variable bounds differ).
+	Gamma float64
+	// ScenFixedUse, when non-nil, is per-scenario per-edge bandwidth
+	// already claimed outside this design (sequential multi-class design,
+	// §4.4): capacities are reduced accordingly. Disables cut sharing.
+	ScenFixedUse [][]float64
+	// LP tunes all LP solves.
+	LP lp.Options
+}
+
+func (o Options) withDefaults(bits int) Options {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 5
+	}
+	if o.HammingLimit == 0 {
+		o.HammingLimit = maxInt(32, bits/16)
+	}
+	if o.MasterNodes == 0 {
+		o.MasterNodes = 120
+	}
+	if o.SharedCutRounds == 0 {
+		o.SharedCutRounds = 1
+	}
+	if o.SharedCutLimit == 0 {
+		o.SharedCutLimit = 150
+	}
+	if o.Gamma == 0 {
+		o.Gamma = -1 // Options{} disables the γ bound
+	}
+	return o
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// OfflineResult is the output of the offline phase: which scenarios are
+// critical for each flow, the achieved per-class PercLoss, and per-iteration
+// convergence history.
+type OfflineResult struct {
+	// Critical is the flow×scenario bitmap of critical scenarios.
+	Critical *CriticalSet
+	// PercLoss[k] is the realized β_k-percentile loss of class k under the
+	// final subproblem routings (post-analysis).
+	PercLoss []float64
+	// ScenLossOpt[q] is the optimal ScenLoss of scenario q over connected
+	// flows (used by the γ generalization and by loss-penalty analyses).
+	ScenLossOpt []float64
+	// SubLosses[f][q] are the flow losses from the final subproblem
+	// routings.
+	SubLosses [][]float64
+	// IterPercLoss[it][k] is the per-class PercLoss after iteration it.
+	IterPercLoss [][]float64
+	// IterPenalty[it] is Σ_k w_k·PercLoss_k after iteration it.
+	IterPenalty []float64
+	// Iterations is the number of decomposition iterations run.
+	Iterations int
+	// SubproblemSolves counts how many scenario LPs were actually solved
+	// (pruning keeps this well below iterations × scenarios).
+	SubproblemSolves int
+	// Elapsed is the wall-clock offline time.
+	Elapsed time.Duration
+}
+
+// Offline runs Flexile's decomposition: identify the critical scenarios of
+// every flow so that, in each class, scenarios covering probability β_k
+// give each flow loss at most PercLoss_k, minimizing Σ_k w_k·PercLoss_k.
+func Offline(inst *te.Instance, opt Options) (*OfflineResult, error) {
+	start := time.Now()
+	nf, nq := inst.NumFlows(), len(inst.Scenarios)
+	opt = opt.withDefaults(nf * nq)
+	if nq == 0 {
+		return nil, fmt.Errorf("flexile: instance has no scenarios")
+	}
+
+	// Connectivity of every flow in every scenario: z_fq is fixed to 0 for
+	// disconnected flows (§4.2 warm start) and those bits never become
+	// master variables.
+	connected := make([][]bool, nf)
+	for k := range inst.Classes {
+		for i := range inst.Pairs {
+			f := inst.FlowID(k, i)
+			connected[f] = make([]bool, nq)
+			for q, s := range inst.Scenarios {
+				connected[f][q] = inst.FlowConnected(k, i, s)
+			}
+		}
+	}
+	// Coverage feasibility: every demanded flow must be connected in
+	// scenarios totalling at least β_k.
+	for k := range inst.Classes {
+		for i := range inst.Pairs {
+			if inst.Demand[k][i] <= 0 {
+				continue
+			}
+			f := inst.FlowID(k, i)
+			mass := 0.0
+			for q, s := range inst.Scenarios {
+				if connected[f][q] {
+					mass += s.Prob
+				}
+			}
+			if mass < inst.Classes[k].Beta-1e-9 {
+				return nil, fmt.Errorf("flexile: flow (%s,%d-%d) connected only %.6f of the time, below β=%v; lower the class target",
+					inst.Classes[k].Name, inst.Pairs[i][0], inst.Pairs[i][1], mass, inst.Classes[k].Beta)
+			}
+		}
+	}
+
+	// Warm start (Proposition 1): critical wherever connected.
+	z := NewCriticalSet(nf, nq)
+	for f := 0; f < nf; f++ {
+		for q := 0; q < nq; q++ {
+			if connected[f][q] && inst.FlowDemand(f) > 0 {
+				z.Set(f, q, true)
+			}
+		}
+	}
+
+	// Per-scenario optimal ScenLoss over connected flows (for γ and for
+	// reporting).
+	scenLossOpt := make([]float64, nq)
+	for q, s := range inst.Scenarios {
+		var capUse []float64
+		if opt.ScenFixedUse != nil {
+			capUse = opt.ScenFixedUse[q]
+		}
+		zScale, _, _, err := te.MaxConcurrentScaleOpts(inst, s, nil, inst.ScenDemandVector(q), capUse)
+		if err != nil {
+			return nil, err
+		}
+		scenLossOpt[q] = math.Max(0, 1-math.Min(1, zScale))
+	}
+	var lossUB [][]float64 // [q][f], only for γ mode
+	if opt.Gamma >= 0 {
+		lossUB = make([][]float64, nq)
+		for q := range inst.Scenarios {
+			ub := make([]float64, nf)
+			for f := 0; f < nf; f++ {
+				if connected[f][q] {
+					ub[f] = math.Min(1, opt.Gamma+scenLossOpt[q])
+				} else {
+					ub[f] = 1
+				}
+			}
+			lossUB[q] = ub
+		}
+	}
+	// Cut sharing requires every scenario's subproblem to differ only in
+	// its right-hand side — per-scenario traffic matrices and the γ bound
+	// both break that.
+	shareCuts := opt.SharedCutRounds >= 0 && opt.Gamma < 0 && inst.ScenDemand == nil && opt.ScenFixedUse == nil
+
+	sp := newSubproblem(inst, opt.LP)
+	// Per-scenario subproblems when scenario traffic matrices are in play.
+	spByQ := make(map[int]*subproblem)
+	solveSub := func(q int, crit func(int) bool, alive []bool, ub []float64) (*subSolution, error) {
+		var capUse []float64
+		if opt.ScenFixedUse != nil {
+			capUse = opt.ScenFixedUse[q]
+		}
+		if dv := inst.ScenDemandVector(q); dv != nil {
+			sq, ok := spByQ[q]
+			if !ok {
+				sq = newSubproblemD(inst, dv, opt.LP)
+				spByQ[q] = sq
+			}
+			return sq.solve(q, crit, alive, ub, capUse)
+		}
+		return sp.solve(q, crit, alive, ub, capUse)
+	}
+	aliveMask := make([][]bool, nq)
+	aliveCap := make([][]float64, nq) // m_eq ∈ {0,1} per edge, for cut eval
+	g := inst.Topo.G
+	for q, s := range inst.Scenarios {
+		aliveMask[q] = s.AliveMask(g.NumEdges())
+		ac := make([]float64, g.NumEdges())
+		for e := range ac {
+			if aliveMask[q][e] {
+				ac[e] = 1
+			}
+		}
+		aliveCap[q] = ac
+	}
+
+	res := &OfflineResult{
+		Critical:    z,
+		ScenLossOpt: scenLossOpt,
+	}
+	type cache struct {
+		z    *CriticalSet // snapshot of the column when last solved
+		sol  *subSolution
+		perf bool // perfect scenario: all connected flows lossless
+	}
+	caches := make([]cache, nq)
+	var cuts []*cut
+	losses := make([][]float64, nf)
+	for f := range losses {
+		losses[f] = make([]float64, nq)
+	}
+
+	bestPenalty := math.Inf(1)
+	var bestZ *CriticalSet
+	var bestLosses [][]float64
+	var bestPercLoss []float64
+
+	for iter := 0; iter < opt.MaxIterations; iter++ {
+		for q := range inst.Scenarios {
+			c := &caches[q]
+			if c.perf {
+				continue // pruned: scenario supports every connected flow losslessly
+			}
+			if c.z != nil && c.z.ScenarioEqual(z, q) {
+				continue // pruned: critical set unchanged since last solve
+			}
+			var ub []float64
+			if lossUB != nil {
+				ub = lossUB[q]
+			}
+			sol, err := solveSub(q, func(f int) bool { return z.Get(f, q) }, aliveMask[q], ub)
+			if err != nil {
+				return nil, err
+			}
+			res.SubproblemSolves++
+			c.sol = sol
+			c.z = z.Clone()
+			cuts = append(cuts, sol.cut)
+			// A scenario is perfect when, with every connected flow marked
+			// critical (the warm-start state), the optimum is zero.
+			if iter == 0 && sol.optval <= 1e-9 {
+				c.perf = true
+			}
+		}
+		// Assemble the loss matrix from the cached subproblem solutions.
+		for q := range inst.Scenarios {
+			c := &caches[q]
+			for f := 0; f < nf; f++ {
+				switch {
+				case inst.FlowDemand(f) <= 0:
+					losses[f][q] = 0
+				case c.perf:
+					if connected[f][q] {
+						losses[f][q] = 0
+					} else {
+						losses[f][q] = 1
+					}
+				case c.sol != nil:
+					if connected[f][q] {
+						losses[f][q] = c.sol.loss[f]
+					} else {
+						losses[f][q] = 1
+					}
+				default:
+					losses[f][q] = 1
+				}
+			}
+		}
+		percs := eval.PercLossAll(inst, losses)
+		penalty := 0.0
+		for k, pl := range percs {
+			penalty += inst.Classes[k].Weight * pl
+		}
+		res.IterPercLoss = append(res.IterPercLoss, percs)
+		res.IterPenalty = append(res.IterPenalty, penalty)
+		res.Iterations = iter + 1
+		if penalty < bestPenalty-1e-12 {
+			bestPenalty = penalty
+			bestZ = z.Clone()
+			bestLosses = cloneMatrix(losses)
+			bestPercLoss = append([]float64(nil), percs...)
+		}
+		if penalty <= 1e-9 || iter == opt.MaxIterations-1 {
+			break
+		}
+		// Master step: propose new critical scenarios.
+		nz, err := solveMaster(inst, connected, cuts, z, aliveCap, opt, shareCuts)
+		if err != nil {
+			return nil, err
+		}
+		if nz.Equal(z) {
+			break // converged: master repeats the proposal
+		}
+		z = nz
+		res.Critical = z
+	}
+
+	res.Critical = bestZ
+	res.SubLosses = bestLosses
+	res.PercLoss = bestPercLoss
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func cloneMatrix(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for i := range m {
+		out[i] = append([]float64(nil), m[i]...)
+	}
+	return out
+}
+
+// solveMaster builds and solves the master MIP (M): minimize Penalty
+// subject to per-flow coverage (3), the pooled Benders cuts (19), and the
+// hamming-distance stabilization (23), with z binary.
+func solveMaster(inst *te.Instance, connected [][]bool, cuts []*cut, zPrev *CriticalSet, aliveCap [][]float64, opt Options, shareCuts bool) (*CriticalSet, error) {
+	nf, nq := inst.NumFlows(), len(inst.Scenarios)
+	p := lp.NewProblem()
+	pen := p.AddCol("penalty", 0, lp.Inf, 1)
+
+	// z columns exist only for (connected, demanded) combinations.
+	zcol := make([][]int, nf)
+	var binaries []int
+	var binFlow, binScen []int // parallel metadata for each binary
+	for f := 0; f < nf; f++ {
+		zcol[f] = make([]int, nq)
+		for q := 0; q < nq; q++ {
+			zcol[f][q] = -1
+		}
+		if inst.FlowDemand(f) <= 0 {
+			continue
+		}
+		for q := 0; q < nq; q++ {
+			if !connected[f][q] {
+				continue
+			}
+			col := p.AddCol(fmt.Sprintf("z[%d,%d]", f, q), 0, 1, 0)
+			zcol[f][q] = col
+			binaries = append(binaries, col)
+			binFlow = append(binFlow, f)
+			binScen = append(binScen, q)
+		}
+	}
+	// Coverage rows (3).
+	for k := range inst.Classes {
+		for i := range inst.Pairs {
+			if inst.Demand[k][i] <= 0 {
+				continue
+			}
+			f := inst.FlowID(k, i)
+			var es []lp.Entry
+			for q, s := range inst.Scenarios {
+				if zcol[f][q] >= 0 {
+					es = append(es, lp.Entry{Col: zcol[f][q], Coef: s.Prob})
+				}
+			}
+			p.AddGE(fmt.Sprintf("cov[%d]", f), inst.Classes[k].Beta-1e-9, es...)
+		}
+	}
+	// Hamming stabilization (23) against zPrev.
+	{
+		var es []lp.Entry
+		base := 0.0
+		for b, col := range binaries {
+			if zPrev.Get(binFlow[b], binScen[b]) {
+				es = append(es, lp.Entry{Col: col, Coef: -1})
+				base++
+			} else {
+				es = append(es, lp.Entry{Col: col, Coef: 1})
+			}
+		}
+		p.AddLE("hamming", float64(opt.HammingLimit)-base, es...)
+	}
+	// Cut rows. Native cuts always; shared cuts via separation below.
+	addCutRow := func(ct *cut, q int) {
+		es := []lp.Entry{{Col: pen, Coef: 1}}
+		rhs := ct.C
+		for f, y := range ct.yAlpha {
+			if y == 0 {
+				continue
+			}
+			if zcol[f][q] >= 0 {
+				es = append(es, lp.Entry{Col: zcol[f][q], Coef: -y})
+				rhs -= y
+			} else {
+				rhs -= y // z fixed at 0 → contributes −y
+			}
+		}
+		for e, cc := range ct.capCoef {
+			if cc != 0 && aliveCap[q][e] > 0 {
+				rhs += cc * aliveCap[q][e]
+			}
+		}
+		p.AddGE(fmt.Sprintf("cut[%d@%d]", ct.nativeQ, q), rhs, es...)
+	}
+	for _, ct := range cuts {
+		addCutRow(ct, ct.nativeQ)
+	}
+
+	// Rounding heuristic for the MIP: per flow, greedily pick the
+	// highest-z̃ scenarios until β is covered.
+	groups := map[int][]int{}
+	weights := make([]float64, len(binaries))
+	for b := range binaries {
+		groups[binFlow[b]] = append(groups[binFlow[b]], b)
+		weights[b] = inst.Scenarios[binScen[b]].Prob
+	}
+	var groupList [][]int
+	var targets []float64
+	for f := 0; f < nf; f++ {
+		if g, ok := groups[f]; ok {
+			groupList = append(groupList, g)
+			k, _ := inst.FlowOf(f)
+			targets = append(targets, inst.Classes[k].Beta)
+		}
+	}
+	// The greedy-cover rounding is strong but each invocation costs an LP
+	// solve inside the MIP; cap how often it runs per master solve.
+	baseHeuristic := mip.RoundGreedyCover(groupList, weights, targets)
+	heurCalls := 0
+	heuristic := func(frac []float64) []float64 {
+		if heurCalls >= 3 {
+			return nil
+		}
+		heurCalls++
+		return baseHeuristic(frac)
+	}
+
+	// Cut-guided greedy descent: starting from zPrev, repeatedly find the
+	// binding cut (the scenario whose dual bound dominates the penalty)
+	// and un-mark the critical flow with the largest dual there, as long
+	// as the flow's remaining critical mass still covers β and the
+	// hamming budget allows. This is exactly Flexile's core move — let a
+	// flow off the hook in a bad scenario and cover its percentile
+	// elsewhere — and it gives the MIP a strong incumbent that plain
+	// branching rarely finds within its node budget.
+	descent := zPrev.Clone()
+	{
+		spare := make([]float64, nf)
+		for f := 0; f < nf; f++ {
+			if inst.FlowDemand(f) <= 0 {
+				continue
+			}
+			k, _ := inst.FlowOf(f)
+			mass := 0.0
+			for q, s := range inst.Scenarios {
+				if descent.Get(f, q) {
+					mass += s.Prob
+				}
+			}
+			spare[f] = mass - inst.Classes[k].Beta
+		}
+		flips := 0
+		for flips < opt.HammingLimit {
+			// Binding cut at the current descent point.
+			bestVal := 0.0
+			var bestCut *cut
+			for _, ct := range cuts {
+				v := ct.value(func(f int) bool { return descent.Get(f, ct.nativeQ) }, aliveCap[ct.nativeQ])
+				if v > bestVal {
+					bestVal, bestCut = v, ct
+				}
+			}
+			if bestCut == nil || bestVal <= 1e-9 {
+				break
+			}
+			q := bestCut.nativeQ
+			prob := inst.Scenarios[q].Prob
+			cand, candY := -1, 0.0
+			for f, y := range bestCut.yAlpha {
+				if y > candY && descent.Get(f, q) && spare[f] >= prob-1e-12 {
+					cand, candY = f, y
+				}
+			}
+			if cand < 0 {
+				break // no flow can be released without breaking coverage
+			}
+			descent.Set(cand, q, false)
+			spare[cand] -= prob
+			flips++
+		}
+	}
+
+	warm := make([]float64, len(binaries))
+	for b := range binaries {
+		if descent.Get(binFlow[b], binScen[b]) {
+			warm[b] = 1
+		}
+	}
+
+	solveMIP := func() (*mip.Solution, error) {
+		return mip.Solve(&mip.Problem{LP: p, Binary: binaries}, mip.Options{
+			MaxNodes:   opt.MasterNodes,
+			RelGap:     1e-4,
+			LP:         opt.LP,
+			Heuristic:  heuristic,
+			WarmBinary: warm,
+		})
+	}
+	sol, err := solveMIP()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status == mip.Infeasible || sol.Status == mip.Unbounded {
+		return nil, fmt.Errorf("flexile: master problem %v", sol.Status)
+	}
+	// Separation rounds: materialize the most violated shared cuts
+	// g^{q0}_{q'} at the incumbent and re-solve.
+	if shareCuts {
+		for round := 0; round < opt.SharedCutRounds; round++ {
+			type viol struct {
+				ct *cut
+				q  int
+				v  float64
+			}
+			var violated []viol
+			penVal := sol.X[pen]
+			for _, ct := range cuts {
+				for q := 0; q < nq; q++ {
+					if q == ct.nativeQ {
+						continue
+					}
+					v := ct.value(func(f int) bool {
+						c := zcol[f][q]
+						return c >= 0 && sol.X[c] > 0.5
+					}, aliveCap[q])
+					if v > penVal+1e-7 {
+						violated = append(violated, viol{ct, q, v - penVal})
+					}
+				}
+			}
+			if len(violated) == 0 {
+				break
+			}
+			sort.Slice(violated, func(a, b int) bool { return violated[a].v > violated[b].v })
+			if len(violated) > opt.SharedCutLimit {
+				violated = violated[:opt.SharedCutLimit]
+			}
+			for _, vv := range violated {
+				addCutRow(vv.ct, vv.q)
+			}
+			sol, err = solveMIP()
+			if err != nil {
+				return nil, err
+			}
+			if sol.Status == mip.Infeasible || sol.Status == mip.Unbounded {
+				return nil, fmt.Errorf("flexile: master problem %v after separation", sol.Status)
+			}
+		}
+	}
+	nz := NewCriticalSet(nf, nq)
+	for b, col := range binaries {
+		if sol.X[col] > 0.5 {
+			nz.Set(binFlow[b], binScen[b], true)
+		}
+	}
+	return nz, nil
+}

@@ -1,0 +1,111 @@
+package flexile
+
+import (
+	"testing"
+
+	"flexile/internal/eval"
+	"flexile/internal/failure"
+	"flexile/internal/te"
+	"flexile/internal/topo"
+	"flexile/internal/tunnels"
+)
+
+func twoClassTriangle() *te.Instance {
+	tp := topo.Triangle()
+	inst := te.NewInstance(tp, []te.Class{
+		{Name: "high", Beta: 0.99, Weight: 1000, Tunnels: tunnels.HighPriority(3)},
+		{Name: "low", Beta: 0.99, Weight: 1, Tunnels: tunnels.LowPriority(3, 3)},
+	})
+	for i := range inst.Pairs {
+		inst.Demand[0][i] = 0.3
+		inst.Demand[1][i] = 0.5
+	}
+	inst.LinkProbs = []float64{0.01, 0.01, 0.01}
+	inst.Scenarios = failure.Enumerate(inst.LinkProbs, 0)
+	return inst
+}
+
+// TestSequentialDesignBasics: the sequential variant produces a feasible
+// routing, keeps high-priority traffic lossless, and its critical sets
+// cover each class's β.
+func TestSequentialDesignBasics(t *testing.T) {
+	inst := twoClassTriangle()
+	s := &SequentialScheme{}
+	r, err := s.Route(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckCapacity(inst, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	losses := r.LossMatrix(inst)
+	if hi := eval.PercLoss(inst, losses, 0); hi > 1e-6 {
+		t.Fatalf("sequential high-priority PercLoss = %v, want 0", hi)
+	}
+	off := s.Offline
+	for k := range inst.Classes {
+		for i := range inst.Pairs {
+			if inst.Demand[k][i] <= 0 {
+				continue
+			}
+			f := inst.FlowID(k, i)
+			mass := 0.0
+			for q, scen := range inst.Scenarios {
+				if off.Critical.Get(f, q) {
+					mass += scen.Prob
+				}
+			}
+			if mass < inst.Classes[k].Beta-1e-9 {
+				t.Fatalf("flow %d critical mass %v below β", f, mass)
+			}
+		}
+	}
+}
+
+// TestSequentialPrefersHigh: with a saturating high class, the sequential
+// design sacrifices the low class entirely instead of balancing — the
+// §4.4 semantics that differ from the default joint design.
+func TestSequentialPrefersHigh(t *testing.T) {
+	tp := topo.TriangleNoBC()
+	inst := te.NewInstance(tp, []te.Class{
+		{Name: "high", Beta: 0.9, Weight: 1000, Tunnels: tunnels.HighPriority(3)},
+		{Name: "low", Beta: 0.9, Weight: 1, Tunnels: tunnels.LowPriority(3, 3)},
+	})
+	// High priority wants the whole A-B link; low priority wants it too.
+	inst.Demand[0][0] = 1
+	inst.Demand[1][0] = 1
+	inst.Scenarios = []failure.Scenario{{Prob: 1}}
+	s := &SequentialScheme{}
+	r, err := s.Route(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses := r.LossMatrix(inst)
+	if l := losses[inst.FlowID(0, 0)][0]; l > 1e-6 {
+		t.Fatalf("high flow loss %v, want 0", l)
+	}
+	if l := losses[inst.FlowID(1, 0)][0]; l < 1-1e-6 {
+		t.Fatalf("low flow loss %v, want 1 (fully preempted)", l)
+	}
+}
+
+// TestSequentialMatchesJointOnSingleClass: with one class the sequential
+// variant degenerates to the standard design.
+func TestSequentialMatchesJointOnSingleClass(t *testing.T) {
+	inst := triangleInstance()
+	seq := &SequentialScheme{}
+	rSeq, err := seq.Route(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint := &Scheme{}
+	rJoint, err := joint.Route(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lSeq := eval.PercLoss(inst, rSeq.LossMatrix(inst), 0)
+	lJoint := eval.PercLoss(inst, rJoint.LossMatrix(inst), 0)
+	if lSeq > lJoint+1e-6 || lJoint > lSeq+1e-6 {
+		t.Fatalf("sequential %v vs joint %v on single class", lSeq, lJoint)
+	}
+}

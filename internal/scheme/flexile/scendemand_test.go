@@ -1,0 +1,74 @@
+package flexile
+
+import (
+	"testing"
+
+	"flexile/internal/eval"
+)
+
+// TestOfflinePerScenarioTM: the §4.4 extension end to end. The triangle
+// cannot give both unit flows zero loss at the 99th percentile under
+// ScenBest, but when failure scenarios carry halved demands (maintenance
+// windows throttle traffic, say), even the warm start achieves zero — and
+// the per-scenario subproblems must be using the right matrices for that
+// to come out.
+func TestOfflinePerScenarioTM(t *testing.T) {
+	inst := triangleInstance()
+	inst.ScenDemand = make([][]float64, len(inst.Scenarios))
+	for q, s := range inst.Scenarios {
+		if len(s.Failed) == 0 {
+			continue
+		}
+		d := make([]float64, inst.NumFlows())
+		d[inst.FlowID(0, 0)] = 0.5
+		d[inst.FlowID(0, 1)] = 0.5
+		inst.ScenDemand[q] = d
+	}
+	off, err := Offline(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.PercLoss[0] > 1e-9 {
+		t.Fatalf("PercLoss = %v, want 0 with scenario TMs", off.PercLoss[0])
+	}
+	// End to end through the online phase: evaluated losses honor the
+	// scenario demands too.
+	s := &Scheme{}
+	r, err := s.Route(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckCapacity(inst, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	losses := r.LossMatrix(inst)
+	if pl := eval.PercLoss(inst, losses, 0); pl > 1e-6 {
+		t.Fatalf("online PercLoss = %v, want 0", pl)
+	}
+}
+
+// TestOfflinePerScenarioTMHarder: demands that rise in failure scenarios
+// must make things harder, not silently use the base matrix.
+func TestOfflinePerScenarioTMHarder(t *testing.T) {
+	inst := triangleInstance()
+	inst.ScenDemand = make([][]float64, len(inst.Scenarios))
+	for q, s := range inst.Scenarios {
+		if len(s.Failed) == 0 {
+			continue
+		}
+		d := make([]float64, inst.NumFlows())
+		d[inst.FlowID(0, 0)] = 2 // double demand under failures
+		d[inst.FlowID(0, 1)] = 2
+		inst.ScenDemand[q] = d
+	}
+	off, err := Offline(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The base matrix alone would permit zero loss (Fig. 1); doubled
+	// failure-scenario demands cannot be fully met in the flows' critical
+	// failure states (a single unit link carries at most half of demand 2).
+	if off.PercLoss[0] < 0.25 {
+		t.Fatalf("PercLoss = %v; doubled scenario demands should force loss", off.PercLoss[0])
+	}
+}

@@ -1,0 +1,55 @@
+package ip
+
+import (
+	"testing"
+
+	"flexile/internal/eval"
+	"flexile/internal/failure"
+	"flexile/internal/te"
+	"flexile/internal/topo"
+	"flexile/internal/tunnels"
+)
+
+// TestIPTriangleOptimal: the exact MIP achieves zero 99%ile loss on the
+// paper's Fig. 1 triangle and proves it.
+func TestIPTriangleOptimal(t *testing.T) {
+	tp := topo.Triangle()
+	inst := te.NewInstance(tp, []te.Class{
+		{Name: "single", Beta: 0.99, Weight: 1, Tunnels: tunnels.SingleClass(3)},
+	})
+	inst.Demand[0][0] = 1
+	inst.Demand[0][1] = 1
+	inst.LinkProbs = []float64{0.01, 0.01, 0.01}
+	inst.Scenarios = failure.Enumerate(inst.LinkProbs, 0)
+	s := &Scheme{}
+	r, err := s.Route(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckCapacity(inst, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	if pl := eval.PercLoss(inst, r.LossMatrix(inst), 0); pl > 1e-6 {
+		t.Fatalf("IP PercLoss = %v, want 0", pl)
+	}
+	if s.Status.String() != "optimal" {
+		t.Fatalf("status %v, want proven optimal", s.Status)
+	}
+	if s.Objective > 1e-6 {
+		t.Fatalf("objective %v, want 0", s.Objective)
+	}
+}
+
+// TestIPInfeasibleBeta: unreachable coverage errors out cleanly.
+func TestIPInfeasibleBeta(t *testing.T) {
+	tp := topo.Triangle()
+	inst := te.NewInstance(tp, []te.Class{
+		{Name: "single", Beta: 0.999999, Weight: 1, Tunnels: tunnels.SingleClass(3)},
+	})
+	inst.Demand[0][0] = 1
+	inst.LinkProbs = []float64{0.01, 0.01, 0.01}
+	inst.Scenarios = failure.Enumerate(inst.LinkProbs, 1e-4)
+	if _, err := (&Scheme{}).Route(inst); err == nil {
+		t.Fatal("want coverage error")
+	}
+}

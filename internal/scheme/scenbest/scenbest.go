@@ -1,0 +1,55 @@
+// Package scenbest implements the ScenBest family of schemes (§2): on every
+// failure, traffic is rerouted to optimize that scenario unilaterally.
+//
+// ScenBest(MLU) is equivalent to SMORE's failure recovery — split traffic
+// optimally among live tunnels minimizing the maximum link utilization,
+// which minimizes ScenLoss (the worst flow's loss in the scenario, paper
+// appendix A). After the worst flow's share is fixed, residual capacity is
+// distributed max-min, so non-bottleneck flows see lower loss. ScenBest is
+// the per-scenario optimum: no scheme achieves lower ScenLoss, which is why
+// the paper uses it both as the SMORE stand-in and as the per-scenario
+// yardstick in §6.3.
+//
+// ScenBest-Multi generalizes to multiple traffic classes by allocating
+// higher-priority classes first (§6.3).
+package scenbest
+
+import (
+	"flexile/internal/te"
+)
+
+// Scheme is ScenBest / SMORE. The zero value is ready to use.
+type Scheme struct {
+	// DisplayName overrides Name() (the harness labels the same algorithm
+	// "SMORE" in single-class runs and "ScenBest-Multi" in two-class runs).
+	DisplayName string
+}
+
+// Name implements scheme.Scheme.
+func (s *Scheme) Name() string {
+	if s.DisplayName != "" {
+		return s.DisplayName
+	}
+	return "ScenBest"
+}
+
+// Route optimizes each scenario independently: a lexicographic max-min
+// allocation on flow loss per traffic class in priority order. The worst
+// connected flow ends at the scenario's optimal ScenLoss; disconnected
+// flows receive nothing (the §6.2 "turn off disconnected flows" variant is
+// inherent: a flow with no live tunnel cannot be allocated bandwidth).
+func (s *Scheme) Route(inst *te.Instance) (*te.Routing, error) {
+	r := te.NewRouting(inst)
+	for q, scen := range inst.Scenarios {
+		res, err := te.MaxMin(inst, scen, te.MaxMinOptions{Domain: te.FractionDomain, Demands: inst.ScenDemandVector(q)})
+		if err != nil {
+			return nil, err
+		}
+		for k := range inst.Classes {
+			for i := range inst.Pairs {
+				copy(r.X[q][k][i], res.X[k][i])
+			}
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,111 @@
+package scenbest
+
+import (
+	"math"
+	"testing"
+
+	"flexile/internal/eval"
+	"flexile/internal/failure"
+	"flexile/internal/te"
+	"flexile/internal/topo"
+	"flexile/internal/tunnels"
+)
+
+func triangleInstance() *te.Instance {
+	tp := topo.Triangle()
+	inst := te.NewInstance(tp, []te.Class{
+		{Name: "single", Beta: 0.99, Weight: 1, Tunnels: tunnels.SingleClass(3)},
+	})
+	inst.Demand[0][0] = 1
+	inst.Demand[0][1] = 1
+	inst.LinkProbs = []float64{0.01, 0.01, 0.01}
+	inst.Scenarios = failure.Enumerate(inst.LinkProbs, 0)
+	return inst
+}
+
+// TestScenLossOptimalEveryScenario: ScenBest achieves the per-scenario
+// optimum (the maximum concurrent-flow bound) in every failure state —
+// the defining property §6.3 relies on.
+func TestScenLossOptimalEveryScenario(t *testing.T) {
+	inst := triangleInstance()
+	r, err := (&Scheme{}).Route(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses := r.LossMatrix(inst)
+	flows := eval.ClassFlows(inst, 0)
+	for q, scen := range inst.Scenarios {
+		z, _, _, err := te.MaxConcurrentScale(inst, scen, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Max(0, 1-math.Min(1, z))
+		got := eval.ScenLoss(inst, losses, q, flows, true)
+		if got > want+1e-6 {
+			t.Fatalf("scenario %d: ScenLoss %v above optimum %v", q, got, want)
+		}
+	}
+}
+
+// TestResidualUsed: after the bottleneck flow is served, remaining capacity
+// goes to the other flows (non-bottleneck flows do better than the worst).
+func TestResidualUsed(t *testing.T) {
+	// A path topology A-B-C: pair (A,B) shares link A-B with pair (A,C),
+	// pair (B,C) shares B-C with (A,C). Demands: AC=1, AB=0.2, BC=0.2.
+	tp := topo.TriangleNoBC()
+	inst := te.NewInstance(tp, []te.Class{
+		{Name: "single", Beta: 0.9, Weight: 1, Tunnels: tunnels.SingleClass(3)},
+	})
+	inst.Demand[0][0] = 1.6 // A-B: more than its link can give once shared
+	inst.Demand[0][1] = 0.2 // A-C
+	inst.Scenarios = []failure.Scenario{{Prob: 1}}
+	r, err := (&Scheme{}).Route(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses := r.LossMatrix(inst)
+	// A-C's demand is small and its link uncontended: zero loss; A-B gets
+	// everything remaining on its own link (1.0 of 1.6).
+	if losses[inst.FlowID(0, 1)][0] > 1e-6 {
+		t.Fatalf("uncontended flow lost %v", losses[inst.FlowID(0, 1)][0])
+	}
+	wantLoss := 1 - 1.0/1.6
+	if math.Abs(losses[inst.FlowID(0, 0)][0]-wantLoss) > 1e-6 {
+		t.Fatalf("bottleneck flow loss %v, want %v", losses[inst.FlowID(0, 0)][0], wantLoss)
+	}
+}
+
+// TestDisplayName: the harness labels the same algorithm differently.
+func TestDisplayName(t *testing.T) {
+	if (&Scheme{}).Name() != "ScenBest" {
+		t.Fatal("default name")
+	}
+	if (&Scheme{DisplayName: "SMORE"}).Name() != "SMORE" {
+		t.Fatal("display name override")
+	}
+}
+
+// TestDisconnectedFlowsGetNothing: flows with no live tunnel receive zero
+// without breaking the other flows' optimality.
+func TestDisconnectedFlowsGetNothing(t *testing.T) {
+	inst := triangleInstance()
+	// Scenario: A-B and B-C down → pair (A,B) disconnected, (A,C) fine.
+	var scen failure.Scenario
+	for _, s := range inst.Scenarios {
+		if len(s.Failed) == 2 && s.IsFailed(0) && s.IsFailed(2) {
+			scen = s
+		}
+	}
+	inst.Scenarios = []failure.Scenario{scen}
+	r, err := (&Scheme{}).Route(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses := r.LossMatrix(inst)
+	if losses[inst.FlowID(0, 0)][0] != 1 {
+		t.Fatalf("disconnected flow loss %v, want 1", losses[inst.FlowID(0, 0)][0])
+	}
+	if losses[inst.FlowID(0, 1)][0] > 1e-6 {
+		t.Fatalf("connected flow loss %v, want 0", losses[inst.FlowID(0, 1)][0])
+	}
+}

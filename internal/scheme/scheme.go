@@ -1,0 +1,16 @@
+// Package scheme defines the interface every traffic-engineering scheme in
+// this repository implements, so the evaluation harness can treat Flexile
+// and the baselines (SWAN, SMORE/ScenBest, Teavar, the CVaR variants and
+// the direct IP) uniformly: a scheme maps a TE instance to a per-scenario
+// routing, which the eval package then post-analyzes.
+package scheme
+
+import "flexile/internal/te"
+
+// Scheme computes a routing for every failure scenario of an instance.
+type Scheme interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Route computes the complete per-scenario routing.
+	Route(inst *te.Instance) (*te.Routing, error)
+}

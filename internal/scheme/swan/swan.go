@@ -1,0 +1,89 @@
+// Package swan implements the two SWAN variants the paper compares against
+// (§6): SWAN-Throughput maximizes total throughput per scenario, and
+// SWAN-Maxmin approximates max-min fairness over flow rates — both
+// allocating higher-priority traffic classes before lower ones and fixing
+// a class's allocation and routing before the next class is solved.
+package swan
+
+import (
+	"fmt"
+
+	"flexile/internal/lp"
+	"flexile/internal/te"
+)
+
+// Throughput is the SWAN-Throughput variant.
+type Throughput struct{}
+
+// Name implements scheme.Scheme.
+func (*Throughput) Name() string { return "SWAN-Throughput" }
+
+// Route maximizes Σ allocations per class, classes in priority order, in
+// every scenario. Throughput maximization is deliberately unfair: flows
+// whose demand routes through contended links may receive nothing (the
+// paper's A-B-C example in §6.2), which is exactly the behaviour the
+// comparison exposes.
+func (*Throughput) Route(inst *te.Instance) (*te.Routing, error) {
+	r := te.NewRouting(inst)
+	for q, scen := range inst.Scenarios {
+		fixedUse := make([]float64, inst.Topo.G.NumEdges())
+		for k := range inst.Classes {
+			a := te.NewAlloc(inst, scen, []int{k}, fixedUse)
+			for i := range inst.Pairs {
+				d := inst.DemandIn(k, i, q)
+				if d <= 0 {
+					continue
+				}
+				es := a.FlowEntries(k, i)
+				if len(es) == 0 {
+					continue
+				}
+				a.LP.AddLE(fmt.Sprintf("dem[%d,%d]", k, i), d, es...)
+				for _, e := range es {
+					a.LP.SetCost(e.Col, a.LP.Cost(e.Col)-1)
+				}
+			}
+			sol, err := a.LP.Solve()
+			if err != nil {
+				return nil, err
+			}
+			if sol.Status != lp.Optimal {
+				return nil, fmt.Errorf("swan: scenario %d class %d: %v", q, k, sol.Status)
+			}
+			for i := range inst.Pairs {
+				r.X[q][k][i] = a.ExtractX(sol, k, i)
+			}
+			a.EdgeUse(sol, fixedUse)
+		}
+	}
+	return r, nil
+}
+
+// Maxmin is the SWAN-Maxmin variant: the iterative max-min approximation
+// from the SWAN paper (geometric waterfilling levels over absolute rates),
+// higher classes allocated and routed before lower ones.
+type Maxmin struct{}
+
+// Name implements scheme.Scheme.
+func (*Maxmin) Name() string { return "SWAN-Maxmin" }
+
+// Route implements scheme.Scheme.
+func (*Maxmin) Route(inst *te.Instance) (*te.Routing, error) {
+	r := te.NewRouting(inst)
+	for q, scen := range inst.Scenarios {
+		res, err := te.MaxMin(inst, scen, te.MaxMinOptions{
+			Domain:    te.RateDomain,
+			FixRoutes: true,
+			Demands:   inst.ScenDemandVector(q),
+		})
+		if err != nil {
+			return nil, err
+		}
+		for k := range inst.Classes {
+			for i := range inst.Pairs {
+				copy(r.X[q][k][i], res.X[k][i])
+			}
+		}
+	}
+	return r, nil
+}

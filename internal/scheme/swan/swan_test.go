@@ -1,0 +1,128 @@
+package swan
+
+import (
+	"math"
+	"testing"
+
+	"flexile/internal/failure"
+	"flexile/internal/te"
+	"flexile/internal/topo"
+	"flexile/internal/tunnels"
+)
+
+func pathInstance() *te.Instance {
+	// A-B-C path (TriangleNoBC gives A-B, A-C; build A-B, B-C instead).
+	g := topo.TriangleNoBC().G // edges A-B, A-C
+	tp := &topo.Topology{Name: "v", G: g}
+	inst := te.NewInstance(tp, []te.Class{
+		{Name: "single", Beta: 0.9, Weight: 1, Tunnels: tunnels.SingleClass(3)},
+	})
+	inst.Scenarios = []failure.Scenario{{Prob: 1}}
+	return inst
+}
+
+// TestThroughputMaximizesTotal: on the V topology (B-A-C), throughput
+// maximization prefers the two one-hop flows over the two-hop flow.
+func TestThroughputMaximizesTotal(t *testing.T) {
+	inst := pathInstance()
+	// Pairs: (A,B)=0, (A,C)=1, (B,C)=2. B-C must cross both links.
+	for i := range inst.Pairs {
+		inst.Demand[0][i] = 1
+	}
+	r, err := (&Throughput{}).Route(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses := r.LossMatrix(inst)
+	total := 0.0
+	for i := range inst.Pairs {
+		total += (1 - losses[inst.FlowID(0, i)][0]) * inst.Demand[0][i]
+	}
+	if math.Abs(total-2) > 1e-6 {
+		t.Fatalf("total throughput %v, want 2", total)
+	}
+	if l := losses[inst.FlowID(0, 2)][0]; math.Abs(l-1) > 1e-6 {
+		t.Fatalf("two-hop flow loss %v, want 1 (starved)", l)
+	}
+}
+
+// TestMaxminSharesEqually: SWAN-Maxmin equalizes rates on a contended link.
+func TestMaxminSharesEqually(t *testing.T) {
+	inst := pathInstance()
+	inst.Demand[0][0] = 1 // A-B (uses link A-B)
+	inst.Demand[0][2] = 1 // B-C (uses A-B and A-C)
+	r, err := (&Maxmin{}).Route(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses := r.LossMatrix(inst)
+	// Link A-B capacity 1 shared equally: each flow delivers 0.5.
+	for _, i := range []int{0, 2} {
+		if math.Abs(losses[inst.FlowID(0, i)][0]-0.5) > 1e-6 {
+			t.Fatalf("flow %d loss %v, want 0.5", i, losses[inst.FlowID(0, i)][0])
+		}
+	}
+}
+
+// TestMaxminPriorityIsolation: the high class's allocation is identical
+// whether or not low-priority traffic exists — SWAN fixes higher classes
+// before lower ones see the network.
+func TestMaxminPriorityIsolation(t *testing.T) {
+	tp := topo.Triangle()
+	mk := func(lowDemand float64) *te.Instance {
+		inst := te.NewInstance(tp, []te.Class{
+			{Name: "high", Beta: 0.999, Weight: 1000, Tunnels: tunnels.HighPriority(3)},
+			{Name: "low", Beta: 0.99, Weight: 1, Tunnels: tunnels.LowPriority(3, 3)},
+		})
+		for i := range inst.Pairs {
+			inst.Demand[0][i] = 0.4
+			inst.Demand[1][i] = lowDemand
+		}
+		inst.Scenarios = []failure.Scenario{{Prob: 1}}
+		return inst
+	}
+	withLow := mk(0.8)
+	withoutLow := mk(0)
+	rWith, err := (&Maxmin{}).Route(withLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rWithout, err := (&Maxmin{}).Route(withoutLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range withLow.Pairs {
+		dWith := rWith.Delivered(withLow, 0, i, 0)
+		dWithout := rWithout.Delivered(withoutLow, 0, i, 0)
+		if math.Abs(dWith-dWithout) > 1e-6 {
+			t.Fatalf("high-class delivery changed with low traffic present: %v vs %v", dWith, dWithout)
+		}
+	}
+}
+
+// TestBothFeasibleUnderFailures on a real topology with failures.
+func TestBothFeasibleUnderFailures(t *testing.T) {
+	tp := topo.MustLoad("Sprint")
+	inst := te.NewInstance(tp, []te.Class{
+		{Name: "high", Beta: 0.999, Weight: 1000, Tunnels: tunnels.HighPriority(3)},
+		{Name: "low", Beta: 0.99, Weight: 1, Tunnels: tunnels.LowPriority(3, 3)},
+	})
+	for i := range inst.Pairs {
+		inst.Demand[0][i] = 5
+		inst.Demand[1][i] = 9
+	}
+	probs := failure.WeibullProbs(tp.G, 4, failure.WeibullParams{Median: 0.005})
+	inst.LinkProbs = probs
+	inst.Scenarios = failure.Enumerate(probs, 1e-3)
+	for _, s := range []interface {
+		Route(*te.Instance) (*te.Routing, error)
+	}{&Throughput{}, &Maxmin{}} {
+		r, err := s.Route(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.CheckCapacity(inst, 1e-5); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package teavar
+
+import (
+	"math"
+	"testing"
+
+	"flexile/internal/eval"
+	"flexile/internal/failure"
+	"flexile/internal/te"
+	"flexile/internal/topo"
+	"flexile/internal/tunnels"
+)
+
+func triangleInstance() *te.Instance {
+	tp := topo.Triangle()
+	inst := te.NewInstance(tp, []te.Class{
+		{Name: "single", Beta: 0.99, Weight: 1, Tunnels: tunnels.SingleClass(3)},
+	})
+	inst.Demand[0][0] = 1
+	inst.Demand[0][1] = 1
+	inst.LinkProbs = []float64{0.01, 0.01, 0.01}
+	inst.Scenarios = failure.Enumerate(inst.LinkProbs, 0)
+	return inst
+}
+
+// TestStaticRouting: Teavar's allocation never adapts — live tunnels carry
+// the same bandwidth in every scenario (the §2 proportional-recovery
+// model).
+func TestStaticRouting(t *testing.T) {
+	inst := triangleInstance()
+	r, err := (&Scheme{}).Route(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for ti := range inst.Tunnels[0][i] {
+			base := r.X[0][0][i][ti] // all-alive allocation
+			for q, scen := range inst.Scenarios {
+				got := r.X[q][0][i][ti]
+				if inst.TunnelAlive(0, i, ti, scen) {
+					if math.Abs(got-base) > 1e-9 {
+						t.Fatalf("allocation adapts: scen %d tunnel %d: %v vs %v", q, ti, got, base)
+					}
+				} else if got != 0 {
+					t.Fatalf("dead tunnel carries %v", got)
+				}
+			}
+		}
+	}
+}
+
+// TestTriangleSplit: the CVaR-optimal design splits each flow across its
+// two disjoint paths (the paper's Fig. 3), capping the 99%ile loss at ~0.5.
+func TestTriangleSplit(t *testing.T) {
+	inst := triangleInstance()
+	r, err := (&Scheme{}).Route(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses := r.LossMatrix(inst)
+	pl := eval.PercLoss(inst, losses, 0)
+	if pl < 0.4851-1e-6 || pl > 0.55 {
+		t.Fatalf("PercLoss = %v, want ≈0.5 (Fig. 3 split)", pl)
+	}
+	// Both flows must use both of their tunnels (a concentrated allocation
+	// would lose everything in one single-failure state, which CVaR
+	// penalizes heavily).
+	for i := 0; i < 2; i++ {
+		for ti := range inst.Tunnels[0][i] {
+			if r.X[0][0][i][ti] < 0.1 {
+				t.Fatalf("flow %d tunnel %d nearly unused (%v): not hedged", i, ti, r.X[0][0][i][ti])
+			}
+		}
+	}
+}
+
+// TestRejectsMultiClass: Teavar is single-class by design.
+func TestRejectsMultiClass(t *testing.T) {
+	tp := topo.Triangle()
+	inst := te.NewInstance(tp, []te.Class{
+		{Name: "a", Beta: 0.99, Weight: 1, Tunnels: tunnels.SingleClass(3)},
+		{Name: "b", Beta: 0.99, Weight: 1, Tunnels: tunnels.SingleClass(3)},
+	})
+	inst.Scenarios = []failure.Scenario{{Prob: 1}}
+	if _, err := (&Scheme{}).Route(inst); err == nil {
+		t.Fatal("want multi-class rejection")
+	}
+}
+
+// TestRejectsBetaOne: β = 1 has no CVaR tail.
+func TestRejectsBetaOne(t *testing.T) {
+	inst := triangleInstance()
+	inst.Classes[0].Beta = 1
+	if _, err := (&Scheme{}).Route(inst); err == nil {
+		t.Fatal("want beta < 1 rejection")
+	}
+}
+
+// TestCapacityRespected on a bigger instance.
+func TestCapacityRespected(t *testing.T) {
+	tp := topo.MustLoad("Sprint")
+	inst := te.NewInstance(tp, []te.Class{
+		{Name: "single", Beta: 0.99, Weight: 1, Tunnels: tunnels.SingleClass(3)},
+	})
+	for i := range inst.Pairs {
+		inst.Demand[0][i] = 15
+	}
+	probs := failure.WeibullProbs(tp.G, 2, failure.WeibullParams{})
+	inst.LinkProbs = probs
+	inst.Scenarios = failure.Enumerate(probs, 1e-4)
+	r, err := (&Scheme{}).Route(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckCapacity(inst, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+package te
+
+import (
+	"fmt"
+	"math"
+
+	"flexile/internal/failure"
+	"flexile/internal/lp"
+)
+
+// Alloc builds per-scenario bandwidth-allocation LPs. It creates one
+// variable per live tunnel (columns for dead tunnels are omitted, which
+// keeps the LPs small) and one capacity row per link carrying at least one
+// live tunnel. Callers layer their objective and extra rows on top.
+type Alloc struct {
+	Inst *Instance
+	Scen failure.Scenario
+	LP   *lp.Problem
+	// xIdx[k][i][t] is the LP column of tunnel t (−1 when the tunnel is
+	// dead in the scenario or its class is excluded).
+	xIdx [][][]int
+}
+
+// NewAlloc builds the LP skeleton. classes selects which class indices get
+// variables (nil means all). fixedUse, when non-nil, is per-edge bandwidth
+// already consumed by traffic outside this LP; it is subtracted from link
+// capacities.
+func NewAlloc(inst *Instance, scen failure.Scenario, classes []int, fixedUse []float64) *Alloc {
+	a := &Alloc{Inst: inst, Scen: scen, LP: lp.NewProblem()}
+	include := make([]bool, len(inst.Classes))
+	if classes == nil {
+		for k := range include {
+			include[k] = true
+		}
+	} else {
+		for _, k := range classes {
+			include[k] = true
+		}
+	}
+	g := inst.Topo.G
+	alive := scen.Alive()
+	a.xIdx = make([][][]int, len(inst.Classes))
+	edgeEntries := make([][]lp.Entry, g.NumEdges())
+	for k := range inst.Classes {
+		a.xIdx[k] = make([][]int, len(inst.Pairs))
+		for i := range inst.Pairs {
+			a.xIdx[k][i] = make([]int, len(inst.Tunnels[k][i]))
+			for t := range inst.Tunnels[k][i] {
+				a.xIdx[k][i][t] = -1
+				if !include[k] || !inst.Tunnels[k][i][t].Alive(alive) {
+					continue
+				}
+				col := a.LP.AddCol(fmt.Sprintf("x[%d,%d,%d]", k, i, t), 0, lp.Inf, 0)
+				a.xIdx[k][i][t] = col
+				for _, e := range inst.Tunnels[k][i][t].Edges {
+					edgeEntries[e] = append(edgeEntries[e], lp.Entry{Col: col, Coef: 1})
+				}
+			}
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		if len(edgeEntries[e]) == 0 {
+			continue
+		}
+		cap := g.Edge(e).Capacity
+		if fixedUse != nil {
+			cap -= fixedUse[e]
+			if cap < 0 {
+				cap = 0
+			}
+		}
+		a.LP.AddLE(fmt.Sprintf("cap[%d]", e), cap, edgeEntries[e]...)
+	}
+	return a
+}
+
+// XVar returns the LP column of tunnel t of (k, i), or −1 when dead.
+func (a *Alloc) XVar(k, i, t int) int { return a.xIdx[k][i][t] }
+
+// FlowEntries returns the LP entries summing the live-tunnel bandwidth of
+// flow (k, i); empty when the flow is disconnected.
+func (a *Alloc) FlowEntries(k, i int) []lp.Entry {
+	var es []lp.Entry
+	for t := range a.xIdx[k][i] {
+		if c := a.xIdx[k][i][t]; c >= 0 {
+			es = append(es, lp.Entry{Col: c, Coef: 1})
+		}
+	}
+	return es
+}
+
+// ExtractX reads the per-tunnel allocation of (k, i) out of an LP solution.
+func (a *Alloc) ExtractX(sol *lp.Solution, k, i int) []float64 {
+	out := make([]float64, len(a.xIdx[k][i]))
+	for t, c := range a.xIdx[k][i] {
+		if c >= 0 {
+			out[t] = sol.X[c]
+		}
+	}
+	return out
+}
+
+// EdgeUse accumulates per-edge bandwidth used by an LP solution into use.
+func (a *Alloc) EdgeUse(sol *lp.Solution, use []float64) {
+	for k := range a.xIdx {
+		for i := range a.xIdx[k] {
+			for t, c := range a.xIdx[k][i] {
+				if c < 0 || sol.X[c] <= 0 {
+					continue
+				}
+				for _, e := range a.Inst.Tunnels[k][i][t].Edges {
+					use[e] += sol.X[c]
+				}
+			}
+		}
+	}
+}
+
+// MaxConcurrentScale solves the maximum concurrent flow problem for the
+// scenario: the largest z such that every flow in the included classes can
+// receive z·demand over live tunnels within capacity. Flows with zero
+// demand or no live tunnel are skipped (a disconnected flow would force
+// z = 0; the caller decides how to treat those).
+//
+// Minimizing ScenLoss is equivalent to maximizing z: ScenLoss =
+// max(0, 1−z) (paper appendix A).
+func MaxConcurrentScale(inst *Instance, scen failure.Scenario, classes []int) (float64, *Alloc, *lp.Solution, error) {
+	return MaxConcurrentScaleD(inst, scen, classes, nil)
+}
+
+// MaxConcurrentScaleD is MaxConcurrentScale with an optional per-flow
+// demand override (per-scenario traffic matrices, §4.4).
+func MaxConcurrentScaleD(inst *Instance, scen failure.Scenario, classes []int, demands []float64) (float64, *Alloc, *lp.Solution, error) {
+	return MaxConcurrentScaleOpts(inst, scen, classes, demands, nil)
+}
+
+// MaxConcurrentScaleOpts additionally subtracts fixedUse (per-edge
+// bandwidth claimed outside this problem) from link capacities.
+func MaxConcurrentScaleOpts(inst *Instance, scen failure.Scenario, classes []int, demands, fixedUse []float64) (float64, *Alloc, *lp.Solution, error) {
+	a := NewAlloc(inst, scen, classes, fixedUse)
+	z := a.LP.AddCol("z", 0, lp.Inf, -1) // maximize z
+	include := make([]bool, len(inst.Classes))
+	if classes == nil {
+		for k := range include {
+			include[k] = true
+		}
+	} else {
+		for _, k := range classes {
+			include[k] = true
+		}
+	}
+	any := false
+	for k := range inst.Classes {
+		if !include[k] {
+			continue
+		}
+		for i := range inst.Pairs {
+			d := inst.Demand[k][i]
+			if demands != nil {
+				d = demands[inst.FlowID(k, i)]
+			}
+			if d <= 0 {
+				continue
+			}
+			es := a.FlowEntries(k, i)
+			if len(es) == 0 {
+				continue
+			}
+			any = true
+			es = append(es, lp.Entry{Col: z, Coef: -d})
+			a.LP.AddGE(fmt.Sprintf("dem[%d,%d]", k, i), 0, es...)
+		}
+	}
+	if !any {
+		return math.Inf(1), a, nil, nil
+	}
+	sol, err := a.LP.Solve()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return 0, nil, nil, fmt.Errorf("te: max concurrent flow: %v", sol.Status)
+	}
+	return sol.X[z], a, sol, nil
+}

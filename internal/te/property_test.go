@@ -1,0 +1,136 @@
+package te
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexile/internal/failure"
+	"flexile/internal/topo"
+	"flexile/internal/tunnels"
+)
+
+// randomInstance builds a seeded random instance on a generated topology.
+func randomInstance(seed int64, nodes, edges int) *Instance {
+	g := topo.Generate(nodes, edges, seed)
+	tp := &topo.Topology{Name: "rand", G: g}
+	inst := NewInstance(tp, []Class{
+		{Name: "single", Beta: 0.9, Weight: 1, Tunnels: tunnels.SingleClass(3)},
+	})
+	rng := rand.New(rand.NewSource(seed + 1))
+	for i := range inst.Pairs {
+		inst.Demand[0][i] = rng.Float64() * 30
+	}
+	probs := failure.WeibullProbs(g, seed+2, failure.WeibullParams{Median: 0.01})
+	inst.LinkProbs = probs
+	inst.Scenarios = failure.Enumerate(probs, 1e-3)
+	return inst
+}
+
+// TestMaxMinFeasibleRandom: every max-min allocation respects capacities
+// and dead tunnels across random instances and scenarios, in both domains.
+func TestMaxMinFeasibleRandom(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		inst := randomInstance(seed, 8, 14)
+		for _, domain := range []MaxMinDomain{FractionDomain, RateDomain} {
+			for q, scen := range inst.Scenarios {
+				if q > 4 {
+					break
+				}
+				res, err := MaxMin(inst, scen, MaxMinOptions{Domain: domain})
+				if err != nil {
+					t.Fatalf("seed %d q %d: %v", seed, q, err)
+				}
+				checkResultFeasible(t, inst, scen, res)
+				for f, fr := range res.Frac {
+					if fr < -1e-9 || fr > 1+1e-9 {
+						t.Fatalf("seed %d: frac[%d] = %v", seed, f, fr)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMaxMinDominatesConcurrentScale: the minimum fraction achieved by the
+// max-min allocation matches the max concurrent flow scale (capped at 1)
+// over connected demanded flows — max-min's first waterfilling level IS the
+// concurrent-flow problem.
+func TestMaxMinDominatesConcurrentScale(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		inst := randomInstance(seed, 7, 12)
+		scen := failure.Scenario{Prob: 1}
+		res, err := MaxMin(inst, scen, MaxMinOptions{Domain: FractionDomain})
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, _, _, err := MaxConcurrentScale(inst, scen, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := z
+		if want > 1 {
+			want = 1
+		}
+		minFrac := 1.0
+		for i := range inst.Pairs {
+			if inst.Demand[0][i] <= 0 {
+				continue
+			}
+			if fr := res.Frac[inst.FlowID(0, i)]; fr < minFrac {
+				minFrac = fr
+			}
+		}
+		// The waterfilling ladder quantizes: allow the level granularity.
+		if minFrac < want-0.02 {
+			t.Fatalf("seed %d: max-min min fraction %v below concurrent scale %v", seed, minFrac, want)
+		}
+	}
+}
+
+// TestSinglePairBoundedByMaxFlow: with one demanded pair, the delivered
+// bandwidth cannot exceed the pair's graph max flow (tunnels are a
+// restriction of the flow polytope).
+func TestSinglePairBoundedByMaxFlow(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		inst := randomInstance(seed, 8, 14)
+		// Keep only the demand of one pair, made huge.
+		target := int(seed) % len(inst.Pairs)
+		for i := range inst.Pairs {
+			inst.Demand[0][i] = 0
+		}
+		inst.Demand[0][target] = 1e6
+		scen := failure.Scenario{Prob: 1}
+		res, err := MaxMin(inst, scen, MaxMinOptions{Domain: FractionDomain})
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered := res.Frac[inst.FlowID(0, target)] * 1e6
+		pr := inst.Pairs[target]
+		mf := inst.Topo.G.MaxFlow(pr[0], pr[1], nil)
+		if delivered > mf+1e-6 {
+			t.Fatalf("seed %d: delivered %v exceeds max flow %v", seed, delivered, mf)
+		}
+	}
+}
+
+// TestConcurrentScaleMonotoneInFailures: failing links can never increase
+// the concurrent-flow scale.
+func TestConcurrentScaleMonotoneInFailures(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		inst := randomInstance(seed, 8, 14)
+		zAll, _, _, err := MaxConcurrentScale(inst, failure.Scenario{Prob: 1}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < inst.Topo.G.NumEdges(); e += 3 {
+			scen := failure.Scenario{Failed: []int{e}}
+			z, _, _, err := MaxConcurrentScale(inst, scen, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if z > zAll+1e-6 {
+				t.Fatalf("seed %d: failing edge %d increased scale %v > %v", seed, e, z, zAll)
+			}
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package tunnels implements the paper's §6 tunnel-selection policies.
+//
+// Tunnels are pre-established paths between site pairs; every TE scheme in
+// the repository routes over them. The paper picks tunnels "balancing
+// latency and disjointness like prior works":
+//
+//   - single-class experiments: three physical tunnels per pair that are as
+//     disjoint as possible, preferring shorter ones among choices;
+//   - latency-sensitive (high-priority) class: three shortest paths that are
+//     not all disconnected by any single link failure;
+//   - low-priority class: the high-priority three plus three more drawn from
+//     a larger shortest-path pool prioritizing disjointness.
+package tunnels
+
+import (
+	"sort"
+
+	"flexile/internal/graph"
+)
+
+// PoolSize is how many candidate shortest paths Yen's algorithm generates
+// per pair before the selection heuristics run.
+const PoolSize = 12
+
+// Policy selects tunnels for one node pair.
+type Policy func(g *graph.Graph, u, v int) []graph.Path
+
+// SingleClass returns up to n tunnels that are as edge-disjoint as
+// possible, preferring shorter paths among equally disjoint choices.
+func SingleClass(n int) Policy {
+	return func(g *graph.Graph, u, v int) []graph.Path {
+		pool := g.KShortestPaths(u, v, PoolSize, nil)
+		return greedyDisjoint(pool, nil, n)
+	}
+}
+
+// HighPriority returns up to n shortest paths chosen so that no single link
+// failure disconnects all of them (when the graph allows it): the selected
+// paths' edge sets have empty intersection. Among selections with that
+// property it prefers shorter paths (the class is latency sensitive).
+func HighPriority(n int) Policy {
+	return func(g *graph.Graph, u, v int) []graph.Path {
+		pool := g.KShortestPaths(u, v, PoolSize, nil)
+		if len(pool) == 0 {
+			return nil
+		}
+		sel := []graph.Path{pool[0]}
+		common := map[int]bool{}
+		for _, e := range pool[0].Edges {
+			common[e] = true
+		}
+		used := map[int]bool{0: true}
+		for len(sel) < n && len(used) < len(pool) {
+			// Greedy: the earliest (shortest) pool path that shrinks the
+			// running intersection the most.
+			best, bestCommon := -1, 1<<30
+			for i, p := range pool {
+				if used[i] {
+					continue
+				}
+				c := 0
+				for _, e := range p.Edges {
+					if common[e] {
+						c++
+					}
+				}
+				if c < bestCommon {
+					best, bestCommon = i, c
+				}
+			}
+			if best < 0 {
+				break
+			}
+			used[best] = true
+			sel = append(sel, pool[best])
+			next := map[int]bool{}
+			for _, e := range pool[best].Edges {
+				if common[e] {
+					next[e] = true
+				}
+			}
+			common = next
+		}
+		if len(common) == 0 || len(sel) < 2 {
+			return sel
+		}
+		// The shortest-path pool cannot break the intersection; fall back
+		// to a graph-wide detour avoiding the shared edges and swap it in
+		// for the last pick.
+		if alt, ok := g.ShortestPath(u, v, nil, func(e int) bool { return !common[e] }, nil); ok {
+			sel[len(sel)-1] = alt
+		}
+		return sel
+	}
+}
+
+// LowPriority returns the high-priority selection plus up to extra more
+// tunnels drawn from a larger pool prioritizing disjointness from the ones
+// already picked.
+func LowPriority(n, extra int) Policy {
+	hp := HighPriority(n)
+	return func(g *graph.Graph, u, v int) []graph.Path {
+		sel := hp(g, u, v)
+		pool := g.KShortestPaths(u, v, PoolSize+extra, nil)
+		var rest []graph.Path
+		for _, p := range pool {
+			dup := false
+			for _, s := range sel {
+				if p.Equal(s) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				rest = append(rest, p)
+			}
+		}
+		more := greedyDisjoint(rest, sel, extra)
+		return append(sel, more...)
+	}
+}
+
+// greedyDisjoint picks up to n paths from pool minimizing edge overlap with
+// already-used edges (from base plus earlier picks), breaking ties by hop
+// count then pool order.
+func greedyDisjoint(pool, base []graph.Path, n int) []graph.Path {
+	used := map[int]int{}
+	for _, p := range base {
+		for _, e := range p.Edges {
+			used[e]++
+		}
+	}
+	remaining := append([]graph.Path(nil), pool...)
+	var out []graph.Path
+	for len(out) < n && len(remaining) > 0 {
+		bestIdx, bestOverlap, bestLen := -1, 1<<30, 1<<30
+		for i, p := range remaining {
+			ov := 0
+			for _, e := range p.Edges {
+				if used[e] > 0 {
+					ov++
+				}
+			}
+			if ov < bestOverlap || (ov == bestOverlap && p.Len() < bestLen) {
+				bestIdx, bestOverlap, bestLen = i, ov, p.Len()
+			}
+		}
+		p := remaining[bestIdx]
+		out = append(out, p)
+		for _, e := range p.Edges {
+			used[e]++
+		}
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return out
+}
+
+// hasCommonEdge reports whether some edge appears in every path.
+func hasCommonEdge(paths []graph.Path) bool {
+	if len(paths) == 0 {
+		return false
+	}
+	counts := map[int]int{}
+	for _, p := range paths {
+		seen := map[int]bool{}
+		for _, e := range p.Edges {
+			if !seen[e] {
+				seen[e] = true
+				counts[e]++
+			}
+		}
+	}
+	for _, c := range counts {
+		if c == len(paths) {
+			return true
+		}
+	}
+	return false
+}
+
+// ForAllPairs applies a policy to every unordered node pair (u < v) and
+// returns tunnels indexed by pair position, along with the pair list.
+func ForAllPairs(g *graph.Graph, policy Policy) ([][2]int, [][]graph.Path) {
+	n := g.NumNodes()
+	var pairs [][2]int
+	var paths [][]graph.Path
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			pairs = append(pairs, [2]int{u, v})
+			paths = append(paths, policy(g, u, v))
+		}
+	}
+	return pairs, paths
+}
+
+// SortByLength orders paths by hop count (stable), shortest first.
+func SortByLength(paths []graph.Path) {
+	sort.SliceStable(paths, func(i, j int) bool { return paths[i].Len() < paths[j].Len() })
+}
