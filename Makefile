@@ -1,0 +1,40 @@
+# Tier-1 verification plus the perf-trajectory tooling. `make ci` is what
+# .github/workflows/ci.yml runs; it must stay green on every PR.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench bench-json clean
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiments package regenerates whole figures per test; under the
+# race detector on few cores that exceeds Go's default 10m per-package
+# timeout, so give it headroom.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+# Record the per-PR performance trajectory: run every benchmark once and
+# convert the text output into a JSON record (BENCH_<tag>.json).
+# Usage: make bench-json TAG=pr1
+TAG ?= local
+BENCHTIME ?= 1x
+
+bench:
+	$(GO) test -bench . -run '^$$' -benchtime $(BENCHTIME) .
+
+bench-json:
+	$(GO) test -bench . -run '^$$' -benchtime $(BENCHTIME) . | tee BENCH_$(TAG).txt
+	$(GO) run ./cmd/flexile-exp -benchjson BENCH_$(TAG).txt -o BENCH_$(TAG).json
+	rm -f BENCH_$(TAG).txt
+
+clean:
+	rm -f BENCH_*.txt

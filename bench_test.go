@@ -6,7 +6,9 @@
 package flexile_test
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"flexile"
 	"flexile/internal/experiments"
@@ -188,6 +190,35 @@ func BenchmarkOfflineDecomposition(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkOfflineParallel measures the scenario-parallel solve engine: it
+// times one sequential (Workers=1) offline run as the baseline, then the
+// timed loop runs with every core, and reports the wall-clock speedup. On
+// a single-core machine the speedup hovers around 1.0 by construction;
+// results are bit-for-bit identical either way (see
+// TestOfflineDeterministicAcrossWorkers).
+func BenchmarkOfflineParallel(b *testing.B) {
+	inst, err := tinyCfg().SingleClass("IBM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	seqStart := time.Now()
+	if _, err := flexile.Design(inst, flexile.DesignOptions{Workers: 1}); err != nil {
+		b.Fatal(err)
+	}
+	seq := time.Since(seqStart)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flexile.Design(inst, flexile.DesignOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if par := b.Elapsed() / time.Duration(b.N); par > 0 {
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup-x")
+	}
+	b.ReportMetric(float64(runtime.NumCPU()), "workers")
 }
 
 // BenchmarkOnlineAllocation isolates the online phase: one failure

@@ -7,18 +7,26 @@
 //	flexile-exp -fig all -scale tiny
 //	flexile-exp -fig 9 -runs 5     # emulation comparison
 //	flexile-exp -fig gamma -topo Quest
+//	flexile-exp -fig 10 -workers 1 # force a sequential topology sweep
+//
+//	go test -bench . -run '^$' | flexile-exp -benchjson - -o BENCH_pr1.json
 //
 // Figures: 1, 5, 6, 9, 10, 11, 12, 13, 14, 15, 18, gamma, table2, all.
 // Scales: tiny (seconds-minutes), small (minutes), paper (§6 full, hours).
+// -workers controls the per-topology fan-out (0 = all cores); results are
+// identical for every worker count. -benchjson converts `go test -bench`
+// text output ("-" = stdin) into a BENCH_*.json performance record.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
+	"flexile/internal/benchjson"
 	"flexile/internal/experiments"
 )
 
@@ -28,7 +36,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed")
 	runs := flag.Int("runs", 5, "emulation runs for fig 9")
 	topoName := flag.String("topo", "Quest", "topology for -fig gamma")
+	workers := flag.Int("workers", 0, "per-topology fan-out width (0 = all cores, 1 = sequential)")
+	benchIn := flag.String("benchjson", "", "parse `go test -bench` output from this file (- = stdin) and emit JSON instead of running figures")
+	outPath := flag.String("o", "", "output path for -benchjson (default stdout)")
 	flag.Parse()
+
+	if *benchIn != "" {
+		if err := emitBenchJSON(*benchIn, *outPath); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var sc experiments.Scale
 	switch strings.ToLower(*scale) {
@@ -41,7 +59,7 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown scale %q", *scale))
 	}
-	cfg := experiments.Config{Scale: sc, Seed: *seed}
+	cfg := experiments.Config{Scale: sc, Seed: *seed, Workers: *workers}
 
 	want := map[string]bool{}
 	for _, f := range strings.Split(*fig, ",") {
@@ -85,6 +103,40 @@ func main() {
 	if ran == 0 {
 		fatal(fmt.Errorf("no figure matched %q", *fig))
 	}
+}
+
+// emitBenchJSON parses `go test -bench` text output and writes the
+// BENCH_*.json performance record.
+func emitBenchJSON(in, out string) error {
+	var r io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	rep, err := benchjson.Parse(r)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := benchjson.Write(w, rep, time.Now()); err != nil {
+		return err
+	}
+	if out != "" {
+		fmt.Printf("wrote %d benchmark records to %s\n", len(rep.Results), out)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -31,6 +31,7 @@ func main() {
 	maxScen := flag.Int("max", 50, "maximum enumerated scenarios (0 = unlimited)")
 	iters := flag.Int("iters", 5, "offline decomposition iterations")
 	gamma := flag.Float64("gamma", -1, "γ bound on non-critical scenario loss (<0 disables)")
+	workers := flag.Int("workers", 0, "offline solve parallelism (0 = all cores, 1 = sequential; results identical)")
 	compare := flag.Bool("compare", false, "also run the baseline schemes")
 	sequential := flag.Bool("sequential", false, "use the §4.4 explicit-priority sequential design")
 	flag.Parse()
@@ -71,7 +72,7 @@ func main() {
 	}
 	fmt.Printf("scenarios: %d (coverage %.6f), design target β = %.6f\n", len(inst.Scenarios), cov, beta)
 
-	opt := flexile.DesignOptions{MaxIterations: *iters, Gamma: *gamma}
+	opt := flexile.DesignOptions{MaxIterations: *iters, Gamma: *gamma, Workers: *workers}
 	start := time.Now()
 	design, err := flexile.Design(inst, opt)
 	if err != nil {

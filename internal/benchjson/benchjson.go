@@ -1,0 +1,111 @@
+// Package benchjson converts `go test -bench` text output into a stable
+// JSON document so per-PR performance trajectories (BENCH_*.json) can be
+// recorded and diffed. The standard benchmark format carries each figure's
+// headline numbers as custom metrics (b.ReportMetric), so one parse yields
+// both wall-clock and result-quality series.
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name without the -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is the measured b.N.
+	Iterations int `json:"iterations"`
+	// NsPerOp is the ns/op column.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every other unit column (custom b.ReportMetric units,
+	// B/op, allocs/op, MB/s, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	// Generated is the emission timestamp (RFC 3339).
+	Generated string `json:"generated"`
+	// Meta carries the bench header lines (goos, goarch, pkg, cpu).
+	Meta map[string]string `json:"meta,omitempty"`
+	// Results holds one entry per benchmark line, in input order.
+	Results []Result `json:"results"`
+}
+
+// Parse reads `go test -bench` output and returns the report (without a
+// timestamp; Write stamps it). Lines that are not benchmark results or
+// known header lines are ignored, so piping full test output works.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{Meta: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				rep.Meta[key] = v
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue // e.g. "BenchmarkFoo   --- FAIL" or a name-only line
+		}
+		res, err := parseLine(fields)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: %q: %w", line, err)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func parseLine(fields []string) (Result, error) {
+	name, procs := fields[0], 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, procs = name[:i], p
+		}
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Result{}, fmt.Errorf("iterations: %w", err)
+	}
+	res := Result{Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("value %q: %w", fields[i], err)
+		}
+		if unit := fields[i+1]; unit == "ns/op" {
+			res.NsPerOp = v
+		} else {
+			res.Metrics[unit] = v
+		}
+	}
+	if len(res.Metrics) == 0 {
+		res.Metrics = nil
+	}
+	return res, nil
+}
+
+// Write stamps the report with now and emits indented JSON.
+func Write(w io.Writer, rep *Report, now time.Time) error {
+	rep.Generated = now.UTC().Format(time.RFC3339)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

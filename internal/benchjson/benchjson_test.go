@@ -1,0 +1,82 @@
+package benchjson
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: flexile
+cpu: Intel(R) Xeon(R)
+BenchmarkFig10-8   	       2	 512345678 ns/op	        12.3 flexile-med-%	        58.0 swanmm-med-%
+BenchmarkOfflineDecomposition-8   	       5	 204060801 ns/op
+BenchmarkOfflineParallel   	       3	 100000000 ns/op	         3.10 speedup-x	         8.00 workers
+PASS
+ok  	flexile	12.345s
+`
+
+func TestParseSample(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Meta["goos"] != "linux" || rep.Meta["pkg"] != "flexile" {
+		t.Fatalf("meta = %v", rep.Meta)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(rep.Results))
+	}
+	r0 := rep.Results[0]
+	if r0.Name != "BenchmarkFig10" || r0.Procs != 8 || r0.Iterations != 2 {
+		t.Fatalf("r0 = %+v", r0)
+	}
+	if r0.NsPerOp != 512345678 {
+		t.Fatalf("r0 ns/op = %v", r0.NsPerOp)
+	}
+	if r0.Metrics["flexile-med-%"] != 12.3 || r0.Metrics["swanmm-med-%"] != 58.0 {
+		t.Fatalf("r0 metrics = %v", r0.Metrics)
+	}
+	if r1 := rep.Results[1]; r1.Metrics != nil {
+		t.Fatalf("r1 should have no custom metrics, got %v", r1.Metrics)
+	}
+	// No -procs suffix → procs defaults to 1.
+	if r2 := rep.Results[2]; r2.Procs != 1 || r2.Metrics["speedup-x"] != 3.10 {
+		t.Fatalf("r2 = %+v", r2)
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	stamp := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	if err := Write(&buf, rep, stamp); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Generated != "2026-08-05T12:00:00Z" {
+		t.Fatalf("generated = %q", back.Generated)
+	}
+	if len(back.Results) != 3 || back.Results[0].Metrics["flexile-med-%"] != 12.3 {
+		t.Fatalf("round trip lost data: %+v", back.Results)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	rep, err := Parse(strings.NewReader("=== RUN TestFoo\n--- PASS: TestFoo\nBenchmarkX --- FAIL\nrandom text\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Fatalf("noise parsed as results: %+v", rep.Results)
+	}
+}

@@ -43,16 +43,28 @@ func Fig10(cfg Config) (*Fig10Result, error) {
 		HighPercLoss: map[string][]float64{},
 		Medians:      map[string]float64{},
 	}
-	for _, name := range cfg.Topologies {
+	// Topologies are independent: fan out across the worker pool, collect
+	// per-topology runs by index, then assemble the series in topology
+	// order so the output matches the sequential sweep exactly.
+	rows := make([][]*SchemeRun, len(cfg.Topologies))
+	if err := cfg.forEachTopo(func(i int, name string) error {
 		inst, err := cfg.TwoClass(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, s := range []scheme.Scheme{&flexile.Scheme{}, &swan.Maxmin{}, &swan.Throughput{}} {
 			run, err := RunScheme(s, inst)
 			if err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", s.Name(), name, err)
+				return fmt.Errorf("%s on %s: %w", s.Name(), name, err)
 			}
+			rows[i] = append(rows[i], run)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, runs := range rows {
+		for _, run := range runs {
 			res.HighPercLoss[run.Scheme] = append(res.HighPercLoss[run.Scheme], run.PercLoss[0])
 			res.LowPercLoss[run.Scheme] = append(res.LowPercLoss[run.Scheme], run.PercLoss[1])
 		}
@@ -107,21 +119,34 @@ func Fig11(cfg Config) (*Fig11Result, error) {
 		PercLoss:   map[string][]float64{},
 		Medians:    map[string]float64{},
 	}
-	for _, name := range cfg.Topologies {
+	type entry struct {
+		scheme string
+		v      float64
+	}
+	rows := make([][]entry, len(cfg.Topologies))
+	if err := cfg.forEachTopo(func(i int, name string) error {
 		inst, err := cfg.SingleClass(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, s := range []scheme.Scheme{&teavar.Scheme{}, &cvarflow.St{}, &cvarflow.Ad{}, &flexile.Scheme{}} {
 			if _, isAd := s.(*cvarflow.Ad); isAd && len(inst.Pairs)*(len(inst.Scenarios)+1) > adSizeLimit {
-				res.PercLoss[s.Name()] = append(res.PercLoss[s.Name()], -1) // TLE marker
+				rows[i] = append(rows[i], entry{s.Name(), -1}) // TLE marker
 				continue
 			}
 			run, err := RunScheme(s, inst)
 			if err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", s.Name(), name, err)
+				return fmt.Errorf("%s on %s: %w", s.Name(), name, err)
 			}
-			res.PercLoss[run.Scheme] = append(res.PercLoss[run.Scheme], run.PercLoss[0])
+			rows[i] = append(rows[i], entry{run.Scheme, run.PercLoss[0]})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, runs := range rows {
+		for _, e := range runs {
+			res.PercLoss[e.scheme] = append(res.PercLoss[e.scheme], e.v)
 		}
 	}
 	var reds []float64
@@ -196,16 +221,25 @@ func Fig12(cfg Config) (*Fig12Result, error) {
 		Topologies: cfg.Topologies,
 		PercLoss:   map[string][]float64{},
 	}
-	for _, name := range cfg.Topologies {
+	rows := make([][]*SchemeRun, len(cfg.Topologies))
+	if err := cfg.forEachTopo(func(i int, name string) error {
 		inst, err := richlyConnectedInstance(cfg, name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, s := range []scheme.Scheme{&teavar.Scheme{}, &scenbest.Scheme{DisplayName: "SMORE"}, &flexile.Scheme{}} {
 			run, err := RunScheme(s, inst)
 			if err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", s.Name(), name, err)
+				return fmt.Errorf("%s on %s: %w", s.Name(), name, err)
 			}
+			rows[i] = append(rows[i], run)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, runs := range rows {
+		for _, run := range runs {
 			res.PercLoss[run.Scheme] = append(res.PercLoss[run.Scheme], run.PercLoss[0])
 		}
 	}

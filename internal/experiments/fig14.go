@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"flexile/internal/par"
 	"flexile/internal/scheme"
 	"flexile/internal/scheme/flexile"
 	"flexile/internal/scheme/ip"
@@ -47,38 +48,55 @@ func Fig14(cfg Config, maxIter int) (*Fig14Result, error) {
 		cfg.MaxScenarios = 12
 	}
 	res := &Fig14Result{}
-	for _, name := range cfg.Topologies {
+	// Per-topology convergence runs are independent; fan out and collect by
+	// index (nil = skipped), assembling in topology order afterwards.
+	type row struct {
+		gaps       []float64
+		iterations int
+		proven     bool
+	}
+	rows := make([]*row, len(cfg.Topologies))
+	if err := cfg.forEachTopo(func(i int, name string) error {
 		info, ok := topo.Lookup(name)
 		if ok && info.Nodes > ipNodeLimit {
-			continue // the direct MIP is hopeless beyond small networks
+			return nil // the direct MIP is hopeless beyond small networks
 		}
 		inst, err := cfg.SingleClass(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		off, err := flexile.Offline(inst, flexile.Options{MaxIterations: maxIter})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ipS := &ip.Scheme{MaxNodes: 400}
 		ipRun, err := RunScheme(ipS, inst)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		optimal := ipRun.PercLoss[0]
 		gaps := make([]float64, maxIter)
 		for it := 0; it < maxIter; it++ {
-			v := off.IterPercLoss[minInt(it, len(off.IterPercLoss)-1)][0]
+			v := off.IterPercLoss[min(it, len(off.IterPercLoss)-1)][0]
 			g := v - optimal
 			if g < 0 {
 				g = 0 // the IP hit its node limit below Flexile's quality
 			}
 			gaps[it] = g
 		}
+		rows[i] = &row{gaps: gaps, iterations: off.Iterations, proven: ipS.Status.String() == "optimal"}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, name := range cfg.Topologies {
+		if rows[i] == nil {
+			continue
+		}
 		res.Topologies = append(res.Topologies, name)
-		res.Gap = append(res.Gap, gaps)
-		res.Iterations = append(res.Iterations, off.Iterations)
-		res.OptimalProven = append(res.OptimalProven, ipS.Status.String() == "optimal")
+		res.Gap = append(res.Gap, rows[i].gaps)
+		res.Iterations = append(res.Iterations, rows[i].iterations)
+		res.OptimalProven = append(res.OptimalProven, rows[i].proven)
 	}
 	res.FracOptimalAtIter = make([]float64, maxIter)
 	for it := 0; it < maxIter; it++ {
@@ -100,13 +118,6 @@ func Fig14(cfg Config, maxIter int) (*Fig14Result, error) {
 // the dense-basis simplex handles in reasonable time (the paper saw the
 // same wall at Tinet/Deltacom with Gurobi).
 const ipNodeLimit = 13
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
 
 // Render formats the convergence report.
 func (r *Fig14Result) Render() string {
@@ -153,35 +164,55 @@ func Fig15(cfg Config, ipNodeBudget int) (*Fig15Result, error) {
 		cfg.MaxScenarios = 12
 	}
 	res := &Fig15Result{}
-	for _, name := range cfg.Topologies {
+	// Fan out per topology; note that with Workers > 1 the per-topology
+	// wall-clock samples contend for cores, so timing-quality runs should
+	// use Workers=1 (the figure's shape — decomposition ≪ IP — survives
+	// contention either way).
+	type row struct {
+		links, subSolves int
+		flexT, ipT       time.Duration
+		ipTLE            bool
+	}
+	rows := make([]row, len(cfg.Topologies))
+	if err := cfg.forEachTopo(func(i int, name string) error {
 		inst, err := cfg.SingleClass(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		off, err := flexile.Offline(inst, flexile.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Topologies = append(res.Topologies, name)
-		res.Links = append(res.Links, inst.Topo.G.NumEdges())
-		res.FlexileT = append(res.FlexileT, off.Elapsed)
-		res.SubproblemSolves = append(res.SubproblemSolves, off.SubproblemSolves)
-
+		rows[i] = row{
+			links:     inst.Topo.G.NumEdges(),
+			subSolves: off.SubproblemSolves,
+			flexT:     off.Elapsed,
+		}
 		info, _ := topo.Lookup(name)
 		if info.Nodes > ipNodeLimit {
 			// Stand-in for the paper's observation that the IP cannot
 			// finish large topologies within an hour.
-			res.IPT = append(res.IPT, 0)
-			res.IPTimedOut = append(res.IPTimedOut, true)
-			continue
+			rows[i].ipTLE = true
+			return nil
 		}
 		ipS := &ip.Scheme{MaxNodes: ipNodeBudget}
 		start := time.Now()
 		if _, err := ipS.Route(inst); err != nil {
-			return nil, err
+			return err
 		}
-		res.IPT = append(res.IPT, time.Since(start))
-		res.IPTimedOut = append(res.IPTimedOut, ipS.Status.String() != "optimal")
+		rows[i].ipT = time.Since(start)
+		rows[i].ipTLE = ipS.Status.String() != "optimal"
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, name := range cfg.Topologies {
+		res.Topologies = append(res.Topologies, name)
+		res.Links = append(res.Links, rows[i].links)
+		res.FlexileT = append(res.FlexileT, rows[i].flexT)
+		res.SubproblemSolves = append(res.SubproblemSolves, rows[i].subSolves)
+		res.IPT = append(res.IPT, rows[i].ipT)
+		res.IPTimedOut = append(res.IPTimedOut, rows[i].ipTLE)
 	}
 	return res, nil
 }
@@ -233,25 +264,31 @@ func Fig18(cfg Config, topologies []string) (*Fig18Result, error) {
 			return r.LossMatrix(trial), nil
 		}
 	}
-	for _, name := range topologies {
-		base, err := cfg.TwoClass(name)
+	fxScale := make([]float64, len(topologies))
+	swScale := make([]float64, len(topologies))
+	if err := par.ForEach(cfg.Workers, len(topologies), func(i int) error {
+		base, err := cfg.TwoClass(topologies[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Undo the default ×2 low-priority scaling so the reported factor
 		// is relative to the raw gravity split, as in the paper.
 		base.ScaleClassDemands(1, 0.5)
 		fx, err := flexile.MaxZeroLossScale(base, 1, lossOf(func() scheme.Scheme { return &flexile.Scheme{} }), 0.05, 6, 0.03)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sw, err := flexile.MaxZeroLossScale(base, 1, lossOf(func() scheme.Scheme { return &swan.Maxmin{} }), 0.05, 6, 0.03)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.MaxScale["Flexile"] = append(res.MaxScale["Flexile"], fx)
-		res.MaxScale["SWAN-Maxmin"] = append(res.MaxScale["SWAN-Maxmin"], sw)
+		fxScale[i], swScale[i] = fx, sw
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	res.MaxScale["Flexile"] = fxScale
+	res.MaxScale["SWAN-Maxmin"] = swScale
 	return res, nil
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"flexile/internal/eval"
 	"flexile/internal/failure"
+	"flexile/internal/par"
 	"flexile/internal/scheme"
 	"flexile/internal/te"
 	"flexile/internal/topo"
@@ -69,6 +70,13 @@ type Config struct {
 	// Cutoff is the scenario probability cutoff; 0 means the per-scale
 	// default (1e-6 at Paper scale, as §6).
 	Cutoff float64
+	// Workers is how many topologies the per-topology experiment sweeps
+	// (Fig. 10–12, 14, 15, 18) run concurrently. 0 means runtime.NumCPU(),
+	// 1 is strictly sequential. Results are identical for every worker
+	// count; per-topology Elapsed/solving-time measurements contend for
+	// cores when Workers > 1, so timing figures (Fig. 15) should be read
+	// from Workers=1 runs.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +114,17 @@ func (c Config) withDefaults() Config {
 		}
 	}
 	return c
+}
+
+// forEachTopo runs fn(i, c.Topologies[i]) for every configured topology
+// across the worker pool. fn must write its results into slots indexed by
+// i (never append to shared state), which keeps every figure's output
+// identical regardless of Workers. Call on a cfg that already has
+// withDefaults applied.
+func (c Config) forEachTopo(fn func(i int, name string) error) error {
+	return par.ForEach(c.Workers, len(c.Topologies), func(i int) error {
+		return fn(i, c.Topologies[i])
+	})
 }
 
 // topoSeed perturbs the base seed per topology so different networks get

@@ -1,0 +1,108 @@
+// Package par is the concurrency substrate for Flexile's scenario-parallel
+// solve engine: a small deterministic worker pool used by the offline
+// decomposition (per-scenario Benders subproblems, the ScenLoss precompute,
+// the shared-cut separation scan) and by the experiment harness
+// (per-topology fan-out).
+//
+// Determinism contract: every helper collects results by item index, so the
+// caller observes identical output regardless of the worker count or the
+// order in which workers drain the queue. With workers == 1 the loop runs
+// inline on the calling goroutine — exactly the pre-parallel behavior, with
+// no goroutines spawned. When any item fails, the error reported is the one
+// with the lowest item index, again independent of scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a configured worker count: 0 means runtime.NumCPU()
+// (use every core), negative or one means strictly sequential.
+func Workers(n int) int {
+	if n == 0 {
+		return runtime.NumCPU()
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines and returns the lowest-index error (nil when every call
+// succeeds). After the first observed failure remaining items are skipped;
+// items already in flight still finish.
+func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachWorker(workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with the worker id (0 ≤ w < workers) passed to
+// every call. Each worker id runs on a single goroutine, so per-worker
+// scratch state (e.g. a worker-local LP instance) needs no locking.
+func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
+	workers = Workers(workers)
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64 // next item to claim
+		failed atomic.Bool  // any error seen → stop claiming new items
+		wg     sync.WaitGroup
+	)
+	errs := make([]error, n)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(worker, i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn(i) for every i in [0, n) across at most workers goroutines
+// and returns the results in item order. Error semantics match ForEach.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolve(t *testing.T) {
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Fatalf("Workers(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(-3); got != 1 {
+		t.Fatalf("Workers(-3) = %d, want 1", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d, want 7", got)
+	}
+}
+
+// Every item must run exactly once, for any worker count.
+func TestForEachCoversAllItems(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		n := 137
+		counts := make([]atomic.Int32, n)
+		err := ForEach(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// The reported error must be the lowest-index failure regardless of
+// scheduling; later items may be skipped but earlier successes must not
+// affect the choice.
+func TestForEachLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		wantErr := errors.New("boom-10")
+		err := ForEach(workers, 64, func(i int) error {
+			if i == 10 {
+				return wantErr
+			}
+			if i > 20 {
+				return fmt.Errorf("boom-%d", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: want error", workers)
+		}
+		// Item 10 always runs before any item > 20 can be the lowest
+		// failure: with sequential claiming, index 10 is claimed before 21.
+		if err != wantErr && err.Error() > wantErr.Error() {
+			t.Fatalf("workers=%d: got %v, want lowest-index error %v", workers, err, wantErr)
+		}
+	}
+}
+
+// ForEachWorker must hand each goroutine a stable worker id within range.
+func TestForEachWorkerIDsInRange(t *testing.T) {
+	workers := 4
+	err := ForEachWorker(workers, 100, func(w, i int) error {
+		if w < 0 || w >= workers {
+			return fmt.Errorf("worker id %d out of range", w)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Map results must land in item order for any worker count.
+func TestMapDeterministicOrder(t *testing.T) {
+	want, err := Map(1, 50, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := Map(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: index %d: got %d want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(8, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -87,6 +87,52 @@ func (c *CriticalSet) ScenarioEqual(o *CriticalSet, q int) bool {
 	return true
 }
 
+// ScenarioColumn is a snapshot of a single scenario's column of a
+// CriticalSet: one bit per flow. The offline solve cache keeps one of
+// these per scenario instead of cloning the full nf×nq bitmap — O(nf)
+// memory and copy time per snapshot rather than O(nf·nq).
+type ScenarioColumn struct {
+	flows int
+	bits  []uint64
+}
+
+// CloneScenario snapshots column q (z_fq for every flow f).
+func (c *CriticalSet) CloneScenario(q int) *ScenarioColumn {
+	sc := &ScenarioColumn{flows: c.flows, bits: make([]uint64, (c.flows+63)/64)}
+	for f := 0; f < c.flows; f++ {
+		if c.Get(f, q) {
+			sc.bits[f>>6] |= 1 << uint(f&63)
+		}
+	}
+	return sc
+}
+
+// Get reports the snapshotted bit of flow f.
+func (sc *ScenarioColumn) Get(f int) bool {
+	return sc.bits[f>>6]&(1<<uint(f&63)) != 0
+}
+
+// Flows returns the flow-dimension size.
+func (sc *ScenarioColumn) Flows() int { return sc.flows }
+
+// ByteSize reports the storage footprint in bytes.
+func (sc *ScenarioColumn) ByteSize() int { return len(sc.bits) * 8 }
+
+// EqualColumn reports whether the snapshot still matches column q of o —
+// the pruning rule "skip scenarios whose critical flows did not change"
+// (§4.2) against a live bitmap.
+func (sc *ScenarioColumn) EqualColumn(o *CriticalSet, q int) bool {
+	if sc.flows != o.flows {
+		return false
+	}
+	for f := 0; f < sc.flows; f++ {
+		if sc.Get(f) != o.Get(f, q) {
+			return false
+		}
+	}
+	return true
+}
+
 // Hamming returns the number of differing bits.
 func (c *CriticalSet) Hamming(o *CriticalSet) int {
 	n := 0

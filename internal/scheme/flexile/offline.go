@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"flexile/internal/eval"
 	"flexile/internal/lp"
 	"flexile/internal/mip"
+	"flexile/internal/par"
 	"flexile/internal/te"
 )
 
@@ -40,6 +42,12 @@ type Options struct {
 	// already claimed outside this design (sequential multi-class design,
 	// §4.4): capacities are reduced accordingly. Disables cut sharing.
 	ScenFixedUse [][]float64
+	// Workers is how many goroutines the scenario-parallel hot loops use
+	// (per-scenario subproblem solves, the ScenLoss precompute, the
+	// shared-cut separation scan). 0 means runtime.NumCPU(); 1 runs every
+	// loop inline, exactly the sequential behavior. Results are identical
+	// for every worker count — parallelism is a pure wall-clock win.
+	Workers int
 	// LP tunes all LP solves.
 	LP lp.Options
 }
@@ -49,7 +57,7 @@ func (o Options) withDefaults(bits int) Options {
 		o.MaxIterations = 5
 	}
 	if o.HammingLimit == 0 {
-		o.HammingLimit = maxInt(32, bits/16)
+		o.HammingLimit = max(32, bits/16)
 	}
 	if o.MasterNodes == 0 {
 		o.MasterNodes = 120
@@ -63,14 +71,8 @@ func (o Options) withDefaults(bits int) Options {
 	if o.Gamma == 0 {
 		o.Gamma = -1 // Options{} disables the γ bound
 	}
+	o.Workers = par.Workers(o.Workers)
 	return o
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // OfflineResult is the output of the offline phase: which scenarios are
@@ -157,18 +159,22 @@ func Offline(inst *te.Instance, opt Options) (*OfflineResult, error) {
 	}
 
 	// Per-scenario optimal ScenLoss over connected flows (for γ and for
-	// reporting).
+	// reporting). Each solve builds its own LP, so the scenarios fan out
+	// across the worker pool; results land at index q regardless of order.
 	scenLossOpt := make([]float64, nq)
-	for q, s := range inst.Scenarios {
+	if err := par.ForEach(opt.Workers, nq, func(q int) error {
 		var capUse []float64
 		if opt.ScenFixedUse != nil {
 			capUse = opt.ScenFixedUse[q]
 		}
-		zScale, _, _, err := te.MaxConcurrentScaleOpts(inst, s, nil, inst.ScenDemandVector(q), capUse)
+		zScale, _, _, err := te.MaxConcurrentScaleOpts(inst, inst.Scenarios[q], nil, inst.ScenDemandVector(q), capUse)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		scenLossOpt[q] = math.Max(0, 1-math.Min(1, zScale))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	var lossUB [][]float64 // [q][f], only for γ mode
 	if opt.Gamma >= 0 {
@@ -190,23 +196,34 @@ func Offline(inst *te.Instance, opt Options) (*OfflineResult, error) {
 	// both break that.
 	shareCuts := opt.SharedCutRounds >= 0 && opt.Gamma < 0 && inst.ScenDemand == nil && opt.ScenFixedUse == nil
 
-	sp := newSubproblem(inst, opt.LP)
-	// Per-scenario subproblems when scenario traffic matrices are in play.
+	// The subproblem LP mutates row bounds in place on every solve, so
+	// concurrent scenario solves need distinct instances: one lazily-built
+	// LP per worker (a worker id maps to a single goroutine at a time).
+	// Per-scenario-demand subproblems are keyed by scenario and only ever
+	// used by the one worker holding that scenario, so a mutex around the
+	// map lookup suffices.
+	sps := make([]*subproblem, opt.Workers)
+	var spByQMu sync.Mutex
 	spByQ := make(map[int]*subproblem)
-	solveSub := func(q int, crit func(int) bool, alive []bool, ub []float64) (*subSolution, error) {
+	solveSub := func(worker, q int, crit func(int) bool, alive []bool, ub []float64) (*subSolution, error) {
 		var capUse []float64
 		if opt.ScenFixedUse != nil {
 			capUse = opt.ScenFixedUse[q]
 		}
 		if dv := inst.ScenDemandVector(q); dv != nil {
+			spByQMu.Lock()
 			sq, ok := spByQ[q]
 			if !ok {
 				sq = newSubproblemD(inst, dv, opt.LP)
 				spByQ[q] = sq
 			}
+			spByQMu.Unlock()
 			return sq.solve(q, crit, alive, ub, capUse)
 		}
-		return sp.solve(q, crit, alive, ub, capUse)
+		if sps[worker] == nil {
+			sps[worker] = newSubproblem(inst, opt.LP)
+		}
+		return sps[worker].solve(q, crit, alive, ub, capUse)
 	}
 	aliveMask := make([][]bool, nq)
 	aliveCap := make([][]float64, nq) // m_eq ∈ {0,1} per edge, for cut eval
@@ -227,7 +244,7 @@ func Offline(inst *te.Instance, opt Options) (*OfflineResult, error) {
 		ScenLossOpt: scenLossOpt,
 	}
 	type cache struct {
-		z    *CriticalSet // snapshot of the column when last solved
+		col  *ScenarioColumn // snapshot of scenario q's column when last solved
 		sol  *subSolution
 		perf bool // perfect scenario: all connected flows lossless
 	}
@@ -244,25 +261,45 @@ func Offline(inst *te.Instance, opt Options) (*OfflineResult, error) {
 	var bestPercLoss []float64
 
 	for iter := 0; iter < opt.MaxIterations; iter++ {
+		// Scenarios surviving the pruning rules this iteration. The solves
+		// are independent by construction (z is read-only while they run),
+		// so they fan out across the worker pool; collecting solutions by
+		// index and appending cuts in ascending scenario order afterwards
+		// keeps the cut pool — and hence the whole trajectory — bit-for-bit
+		// identical to the sequential run.
+		var pending []int
 		for q := range inst.Scenarios {
 			c := &caches[q]
 			if c.perf {
 				continue // pruned: scenario supports every connected flow losslessly
 			}
-			if c.z != nil && c.z.ScenarioEqual(z, q) {
+			if c.col != nil && c.col.EqualColumn(z, q) {
 				continue // pruned: critical set unchanged since last solve
 			}
+			pending = append(pending, q)
+		}
+		sols := make([]*subSolution, len(pending))
+		if err := par.ForEachWorker(opt.Workers, len(pending), func(worker, j int) error {
+			q := pending[j]
 			var ub []float64
 			if lossUB != nil {
 				ub = lossUB[q]
 			}
-			sol, err := solveSub(q, func(f int) bool { return z.Get(f, q) }, aliveMask[q], ub)
+			sol, err := solveSub(worker, q, func(f int) bool { return z.Get(f, q) }, aliveMask[q], ub)
 			if err != nil {
-				return nil, err
+				return err
 			}
+			sols[j] = sol
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		for j, q := range pending {
+			c := &caches[q]
+			sol := sols[j]
 			res.SubproblemSolves++
 			c.sol = sol
-			c.z = z.Clone()
+			c.col = z.CloneScenario(q)
 			cuts = append(cuts, sol.cut)
 			// A scenario is perfect when, with every connected flow marked
 			// critical (the warm-start state), the optimum is zero.
@@ -535,15 +572,20 @@ func solveMaster(inst *te.Instance, connected [][]bool, cuts []*cut, zPrev *Crit
 	// Separation rounds: materialize the most violated shared cuts
 	// g^{q0}_{q'} at the incumbent and re-solve.
 	if shareCuts {
+		type viol struct {
+			ct *cut
+			q  int
+			v  float64
+		}
 		for round := 0; round < opt.SharedCutRounds; round++ {
-			type viol struct {
-				ct *cut
-				q  int
-				v  float64
-			}
-			var violated []viol
+			// The cuts × nq scan only reads the incumbent, so it shards
+			// across the worker pool by cut; flattening the per-cut hits in
+			// cut order keeps the violated list — and the sort below —
+			// independent of the worker count.
 			penVal := sol.X[pen]
-			for _, ct := range cuts {
+			perCut, err := par.Map(opt.Workers, len(cuts), func(ci int) ([]viol, error) {
+				ct := cuts[ci]
+				var hits []viol
 				for q := 0; q < nq; q++ {
 					if q == ct.nativeQ {
 						continue
@@ -553,9 +595,17 @@ func solveMaster(inst *te.Instance, connected [][]bool, cuts []*cut, zPrev *Crit
 						return c >= 0 && sol.X[c] > 0.5
 					}, aliveCap[q])
 					if v > penVal+1e-7 {
-						violated = append(violated, viol{ct, q, v - penVal})
+						hits = append(hits, viol{ct, q, v - penVal})
 					}
 				}
+				return hits, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var violated []viol
+			for _, hits := range perCut {
+				violated = append(violated, hits...)
 			}
 			if len(violated) == 0 {
 				break

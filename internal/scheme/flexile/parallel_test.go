@@ -1,0 +1,151 @@
+package flexile
+
+import (
+	"testing"
+
+	"flexile/internal/failure"
+	"flexile/internal/te"
+	"flexile/internal/topo"
+	"flexile/internal/traffic"
+	"flexile/internal/tunnels"
+)
+
+// sprintInstance builds a realistic small instance (Sprint, 11 nodes,
+// single class, §6 methodology) with enough scenarios to exercise the
+// pruning, cut sharing and master machinery across iterations.
+func sprintInstance(t *testing.T) *te.Instance {
+	t.Helper()
+	tp, err := topo.Load("Sprint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := te.NewInstance(tp, []te.Class{
+		{Name: "single", Beta: 0, Weight: 1, Tunnels: tunnels.SingleClass(3)},
+	})
+	if err := traffic.ApplyGravity(inst, traffic.GravityOptions{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	probs := failure.WeibullProbs(tp.G, 2, failure.WeibullParams{})
+	inst.LinkProbs = probs
+	scens := failure.Enumerate(probs, 1e-4)
+	if len(scens) > 12 {
+		scens = scens[:12]
+	}
+	inst.Scenarios = scens
+	beta := inst.AllFlowsConnectedMass() - 1e-9
+	if beta > 0.999 {
+		beta = 0.999
+	}
+	if cov := failure.Coverage(inst.Scenarios); beta > 1-8*(1-cov) {
+		beta = 1 - 8*(1-cov)
+	}
+	if beta < 0.5 {
+		beta = 0.5
+	}
+	inst.Classes[0].Beta = beta
+	return inst
+}
+
+// TestOfflineDeterministicAcrossWorkers is the contract the parallel solve
+// engine promises: the offline result is bit-for-bit identical for every
+// worker count — same critical bitmap, same PercLoss, same convergence
+// history, same solve count. Run with -race to also exercise the engine's
+// memory-safety (the test is the package's race detector workload).
+func TestOfflineDeterministicAcrossWorkers(t *testing.T) {
+	inst := sprintInstance(t)
+	base, err := Offline(inst, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := Offline(inst, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !got.Critical.Equal(base.Critical) {
+			t.Fatalf("workers=%d: Critical bitmap differs from sequential run", workers)
+		}
+		if got.Iterations != base.Iterations || got.SubproblemSolves != base.SubproblemSolves {
+			t.Fatalf("workers=%d: trajectory differs: iters %d vs %d, solves %d vs %d",
+				workers, got.Iterations, base.Iterations, got.SubproblemSolves, base.SubproblemSolves)
+		}
+		for k := range base.PercLoss {
+			if got.PercLoss[k] != base.PercLoss[k] {
+				t.Fatalf("workers=%d: PercLoss[%d] = %v, sequential %v", workers, k, got.PercLoss[k], base.PercLoss[k])
+			}
+		}
+		for it := range base.IterPenalty {
+			if got.IterPenalty[it] != base.IterPenalty[it] {
+				t.Fatalf("workers=%d: IterPenalty[%d] = %v, sequential %v", workers, it, got.IterPenalty[it], base.IterPenalty[it])
+			}
+		}
+		for q := range base.ScenLossOpt {
+			if got.ScenLossOpt[q] != base.ScenLossOpt[q] {
+				t.Fatalf("workers=%d: ScenLossOpt[%d] = %v, sequential %v", workers, q, got.ScenLossOpt[q], base.ScenLossOpt[q])
+			}
+		}
+		for f := range base.SubLosses {
+			for q := range base.SubLosses[f] {
+				if got.SubLosses[f][q] != base.SubLosses[f][q] {
+					t.Fatalf("workers=%d: SubLosses[%d][%d] differs", workers, f, q)
+				}
+			}
+		}
+	}
+}
+
+// TestOfflineDeterministicTriangleGamma covers the γ-variant and
+// per-scenario-subproblem paths under parallelism.
+func TestOfflineDeterministicTriangleGamma(t *testing.T) {
+	inst := triangleInstance()
+	base, err := Offline(inst, Options{Gamma: 0.3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Offline(inst, Options{Gamma: 0.3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Critical.Equal(base.Critical) || got.PercLoss[0] != base.PercLoss[0] {
+		t.Fatalf("γ mode: workers=4 diverges: PercLoss %v vs %v", got.PercLoss[0], base.PercLoss[0])
+	}
+}
+
+// TestScenarioColumnSnapshot pins the column-snapshot cache type: a
+// snapshot equals the source column, detects any flip in it, is blind to
+// other columns (that is the memory win), and costs O(nf) bytes.
+func TestScenarioColumnSnapshot(t *testing.T) {
+	cs := NewCriticalSet(70, 9) // flows span >1 uint64 word
+	cs.Set(0, 3, true)
+	cs.Set(64, 3, true)
+	cs.Set(69, 3, true)
+	cs.Set(5, 4, true)
+	col := cs.CloneScenario(3)
+	if col.Flows() != 70 {
+		t.Fatalf("Flows() = %d", col.Flows())
+	}
+	for f := 0; f < 70; f++ {
+		if col.Get(f) != cs.Get(f, 3) {
+			t.Fatalf("snapshot bit %d differs", f)
+		}
+	}
+	if !col.EqualColumn(cs, 3) {
+		t.Fatal("snapshot must equal its source column")
+	}
+	// A change in another column must not invalidate the snapshot...
+	cs.Set(12, 5, true)
+	if !col.EqualColumn(cs, 3) {
+		t.Fatal("snapshot must ignore other columns")
+	}
+	// ...but any flip in column 3 must.
+	cs.Set(64, 3, false)
+	if col.EqualColumn(cs, 3) {
+		t.Fatal("snapshot must detect a flip in its column")
+	}
+	if col.ByteSize() >= cs.ByteSize() {
+		t.Fatalf("column snapshot (%dB) should be smaller than the full bitmap (%dB)", col.ByteSize(), cs.ByteSize())
+	}
+	if col.EqualColumn(NewCriticalSet(3, 9), 3) {
+		t.Fatal("mismatched flow dimension must compare unequal")
+	}
+}

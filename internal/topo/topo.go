@@ -204,20 +204,6 @@ func Generate(n, m int, seed int64) *graph.Graph {
 	return g
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // Triangle returns the paper's Fig. 1 motivating topology: nodes A, B, C
 // with unit-capacity links A−B, A−C and B−C. The returned edge ids are in
 // that order.
