@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-json clean
+.PHONY: ci vet build test race faults bench bench-json clean
 
-ci: vet build race
+ci: vet build race faults
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +21,12 @@ test:
 # timeout, so give it headroom.
 race:
 	$(GO) test -race -timeout 45m ./...
+
+# The fault-injection suite: every forced failure class (panic, singular
+# basis, iteration limit, cancellation) must end in recovery or a degraded
+# result, race-clean.
+faults:
+	$(GO) test -race -timeout 15m -run 'Fault|Degraded|Cancel' ./...
 
 # Record the per-PR performance trajectory: run every benchmark once and
 # convert the text output into a JSON record (BENCH_<tag>.json).

@@ -37,6 +37,7 @@ func main() {
 	runs := flag.Int("runs", 5, "emulation runs for fig 9")
 	topoName := flag.String("topo", "Quest", "topology for -fig gamma")
 	workers := flag.Int("workers", 0, "per-topology fan-out width (0 = all cores, 1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit per topology sweep, e.g. 10m (0 = unlimited)")
 	benchIn := flag.String("benchjson", "", "parse `go test -bench` output from this file (- = stdin) and emit JSON instead of running figures")
 	outPath := flag.String("o", "", "output path for -benchjson (default stdout)")
 	flag.Parse()
@@ -59,7 +60,7 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown scale %q", *scale))
 	}
-	cfg := experiments.Config{Scale: sc, Seed: *seed, Workers: *workers}
+	cfg := experiments.Config{Scale: sc, Seed: *seed, Workers: *workers, Timeout: *timeout}
 
 	want := map[string]bool{}
 	for _, f := range strings.Split(*fig, ",") {

@@ -32,6 +32,7 @@ func main() {
 	iters := flag.Int("iters", 5, "offline decomposition iterations")
 	gamma := flag.Float64("gamma", -1, "γ bound on non-critical scenario loss (<0 disables)")
 	workers := flag.Int("workers", 0, "offline solve parallelism (0 = all cores, 1 = sequential; results identical)")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit for the offline solve, e.g. 30s, 5m (0 = unlimited)")
 	compare := flag.Bool("compare", false, "also run the baseline schemes")
 	sequential := flag.Bool("sequential", false, "use the §4.4 explicit-priority sequential design")
 	flag.Parse()
@@ -72,7 +73,7 @@ func main() {
 	}
 	fmt.Printf("scenarios: %d (coverage %.6f), design target β = %.6f\n", len(inst.Scenarios), cov, beta)
 
-	opt := flexile.DesignOptions{MaxIterations: *iters, Gamma: *gamma, Workers: *workers}
+	opt := flexile.DesignOptions{MaxIterations: *iters, Gamma: *gamma, Workers: *workers, Timeout: *timeout}
 	start := time.Now()
 	design, err := flexile.Design(inst, opt)
 	if err != nil {
@@ -80,6 +81,11 @@ func main() {
 	}
 	fmt.Printf("offline: %d iterations, %d subproblem LPs, %v\n",
 		design.Iterations, design.SubproblemSolves, design.Elapsed.Round(time.Millisecond))
+	if design.Report.Degraded() {
+		fmt.Printf("offline degraded mode: %d retried, %d skipped scenario solves, %d loss-precompute fallbacks, %d master failures\n",
+			len(design.Report.Retried), len(design.Report.Skipped),
+			len(design.Report.ScenLossFallback), len(design.Report.MasterFailures))
+	}
 	for it, pls := range design.IterPercLoss {
 		fmt.Printf("  iteration %d:", it+1)
 		for k, pl := range pls {

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSweepDegradedIsolation: a failing topology — error or panic — must
+// not abort the sweep. Every other topology runs, the failures come back
+// in topology order, and the render helper reports them as FAILED lines.
+func TestSweepDegradedIsolation(t *testing.T) {
+	cfg := Config{Workers: 2}
+	names := []string{"Alpha", "Beta", "Gamma", "Delta"}
+	ran := make([]bool, len(names))
+	fails, err := cfg.sweep(names, func(i int, name string) error {
+		ran[i] = true
+		switch name {
+		case "Beta":
+			return errors.New("forced failure")
+		case "Gamma":
+			panic("forced panic")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("isolated failures must not abort the sweep: %v", err)
+	}
+	for i, name := range names {
+		if !ran[i] {
+			t.Fatalf("topology %s never ran; isolation failed", name)
+		}
+	}
+	if len(fails) != 2 || fails[0].Topology != "Beta" || fails[1].Topology != "Gamma" {
+		t.Fatalf("failures %+v, want Beta then Gamma in topology order", fails)
+	}
+	if !strings.Contains(fails[1].Err, "forced panic") {
+		t.Fatalf("recovered panic lost its cause: %q", fails[1].Err)
+	}
+	failed := failedSet(fails)
+	if !failed["Beta"] || !failed["Gamma"] || failed["Alpha"] || failed["Delta"] {
+		t.Fatalf("failedSet %v misclassifies topologies", failed)
+	}
+	out := renderFailures(fails)
+	if !strings.Contains(out, "FAILED Beta") || !strings.Contains(out, "FAILED Gamma") {
+		t.Fatalf("renderFailures output %q lacks FAILED lines", out)
+	}
+}
+
+// TestSweepCancelTimeout: Config.Timeout bounds the sweep; unlike a
+// per-topology failure, an expired deadline aborts with an error wrapping
+// the context error — cancellation is the caller's intent, not a row to
+// drop silently.
+func TestSweepCancelTimeout(t *testing.T) {
+	cfg := Config{Workers: 2, Timeout: time.Nanosecond}
+	_, err := cfg.sweep([]string{"Alpha", "Beta"}, func(i int, name string) error {
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expired deadline did not abort the sweep")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+}

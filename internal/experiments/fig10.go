@@ -30,6 +30,9 @@ type Fig10Result struct {
 	HighPercLoss map[string][]float64
 	// Medians per scheme across topologies (low class).
 	Medians map[string]float64
+	// Failures lists topologies that failed and were excluded from the
+	// series above.
+	Failures []TopoFailure
 }
 
 // Fig10 runs the two-class comparison across the configured topologies.
@@ -38,16 +41,16 @@ type Fig10Result struct {
 func Fig10(cfg Config) (*Fig10Result, error) {
 	cfg = cfg.withDefaults()
 	res := &Fig10Result{
-		Topologies:   cfg.Topologies,
 		LowPercLoss:  map[string][]float64{},
 		HighPercLoss: map[string][]float64{},
 		Medians:      map[string]float64{},
 	}
 	// Topologies are independent: fan out across the worker pool, collect
 	// per-topology runs by index, then assemble the series in topology
-	// order so the output matches the sequential sweep exactly.
+	// order so the output matches the sequential sweep exactly. A failed
+	// topology is excluded (its partial row discarded) and reported.
 	rows := make([][]*SchemeRun, len(cfg.Topologies))
-	if err := cfg.forEachTopo(func(i int, name string) error {
+	fails, err := cfg.forEachTopo(func(i int, name string) error {
 		inst, err := cfg.TwoClass(name)
 		if err != nil {
 			return err
@@ -60,11 +63,18 @@ func Fig10(cfg Config) (*Fig10Result, error) {
 			rows[i] = append(rows[i], run)
 		}
 		return nil
-	}); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
-	for _, runs := range rows {
-		for _, run := range runs {
+	res.Failures = fails
+	failed := failedSet(fails)
+	for i, name := range cfg.Topologies {
+		if failed[name] {
+			continue
+		}
+		res.Topologies = append(res.Topologies, name)
+		for _, run := range rows[i] {
 			res.HighPercLoss[run.Scheme] = append(res.HighPercLoss[run.Scheme], run.PercLoss[0])
 			res.LowPercLoss[run.Scheme] = append(res.LowPercLoss[run.Scheme], run.PercLoss[1])
 		}
@@ -86,6 +96,7 @@ func (r *Fig10Result) Render() string {
 	}
 	fmt.Fprintf(&b, "  %-16s %9.1f%% %12.1f%% %16.1f%%\n", "median",
 		100*r.Medians["Flexile"], 100*r.Medians["SWAN-Maxmin"], 100*r.Medians["SWAN-Throughput"])
+	b.WriteString(renderFailures(r.Failures))
 	return b.String()
 }
 
@@ -100,6 +111,8 @@ type Fig11Result struct {
 	// MedianReductionStVsTeavar is the median relative reduction of
 	// Cvar-Flow-St vs Teavar (paper: >50%).
 	MedianReductionStVsTeavar float64
+	// Failures lists topologies that failed and were excluded.
+	Failures []TopoFailure
 }
 
 // adSizeLimit bounds Cvar-Flow-Ad's instance size (pairs × scenarios):
@@ -115,16 +128,15 @@ const adSizeLimit = 1500
 func Fig11(cfg Config) (*Fig11Result, error) {
 	cfg = cfg.withDefaults()
 	res := &Fig11Result{
-		Topologies: cfg.Topologies,
-		PercLoss:   map[string][]float64{},
-		Medians:    map[string]float64{},
+		PercLoss: map[string][]float64{},
+		Medians:  map[string]float64{},
 	}
 	type entry struct {
 		scheme string
 		v      float64
 	}
 	rows := make([][]entry, len(cfg.Topologies))
-	if err := cfg.forEachTopo(func(i int, name string) error {
+	fails, err := cfg.forEachTopo(func(i int, name string) error {
 		inst, err := cfg.SingleClass(name)
 		if err != nil {
 			return err
@@ -141,11 +153,18 @@ func Fig11(cfg Config) (*Fig11Result, error) {
 			rows[i] = append(rows[i], entry{run.Scheme, run.PercLoss[0]})
 		}
 		return nil
-	}); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
-	for _, runs := range rows {
-		for _, e := range runs {
+	res.Failures = fails
+	failed := failedSet(fails)
+	for i, name := range cfg.Topologies {
+		if failed[name] {
+			continue
+		}
+		res.Topologies = append(res.Topologies, name)
+		for _, e := range rows[i] {
 			res.PercLoss[e.scheme] = append(res.PercLoss[e.scheme], e.v)
 		}
 	}
@@ -192,6 +211,7 @@ func (r *Fig11Result) Render() string {
 		fmt.Fprintf(&b, " %12.1f%%", 100*r.Medians[s])
 	}
 	fmt.Fprintf(&b, "\n  median reduction Cvar-Flow-St vs Teavar: %.0f%%\n", r.MedianReductionStVsTeavar)
+	b.WriteString(renderFailures(r.Failures))
 	return b.String()
 }
 
@@ -205,6 +225,8 @@ type Fig12Result struct {
 	// PercLoss reductions (paper: 46% and 63%).
 	MedianReductionVsSMORE  float64
 	MedianReductionVsTeavar float64
+	// Failures lists topologies that failed and were excluded.
+	Failures []TopoFailure
 }
 
 // Fig12 builds the richly connected variant of each topology: each link
@@ -218,11 +240,10 @@ func Fig12(cfg Config) (*Fig12Result, error) {
 	cfg.MaxScenarios *= 3
 	cfg.Cutoff /= 10
 	res := &Fig12Result{
-		Topologies: cfg.Topologies,
-		PercLoss:   map[string][]float64{},
+		PercLoss: map[string][]float64{},
 	}
 	rows := make([][]*SchemeRun, len(cfg.Topologies))
-	if err := cfg.forEachTopo(func(i int, name string) error {
+	fails, err := cfg.forEachTopo(func(i int, name string) error {
 		inst, err := richlyConnectedInstance(cfg, name)
 		if err != nil {
 			return err
@@ -235,11 +256,18 @@ func Fig12(cfg Config) (*Fig12Result, error) {
 			rows[i] = append(rows[i], run)
 		}
 		return nil
-	}); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
-	for _, runs := range rows {
-		for _, run := range runs {
+	res.Failures = fails
+	failed := failedSet(fails)
+	for i, name := range cfg.Topologies {
+		if failed[name] {
+			continue
+		}
+		res.Topologies = append(res.Topologies, name)
+		for _, run := range rows[i] {
 			res.PercLoss[run.Scheme] = append(res.PercLoss[run.Scheme], run.PercLoss[0])
 		}
 	}
@@ -313,5 +341,6 @@ func (r *Fig12Result) Render() string {
 	}
 	fmt.Fprintf(&b, "  median reduction Flexile vs SMORE: %.0f%%, vs Teavar: %.0f%%\n",
 		r.MedianReductionVsSMORE, r.MedianReductionVsTeavar)
+	b.WriteString(renderFailures(r.Failures))
 	return b.String()
 }

@@ -5,7 +5,6 @@ import (
 	"strings"
 	"time"
 
-	"flexile/internal/par"
 	"flexile/internal/scheme"
 	"flexile/internal/scheme/flexile"
 	"flexile/internal/scheme/ip"
@@ -29,6 +28,8 @@ type Fig14Result struct {
 	// FracOptimalAtIter[it] is the fraction of topologies at gap ≤ 1e-6 by
 	// iteration it+1 (paper: 40% at iteration 1, 100% by iteration 5).
 	FracOptimalAtIter []float64
+	// Failures lists topologies that failed and were excluded.
+	Failures []TopoFailure
 }
 
 // Fig14 runs Flexile and the direct IP on each topology and reports the
@@ -56,7 +57,7 @@ func Fig14(cfg Config, maxIter int) (*Fig14Result, error) {
 		proven     bool
 	}
 	rows := make([]*row, len(cfg.Topologies))
-	if err := cfg.forEachTopo(func(i int, name string) error {
+	fails, err := cfg.forEachTopo(func(i int, name string) error {
 		info, ok := topo.Lookup(name)
 		if ok && info.Nodes > ipNodeLimit {
 			return nil // the direct MIP is hopeless beyond small networks
@@ -86,12 +87,14 @@ func Fig14(cfg Config, maxIter int) (*Fig14Result, error) {
 		}
 		rows[i] = &row{gaps: gaps, iterations: off.Iterations, proven: ipS.Status.String() == "optimal"}
 		return nil
-	}); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
+	res.Failures = fails
 	for i, name := range cfg.Topologies {
 		if rows[i] == nil {
-			continue
+			continue // skipped (IP too large) or failed
 		}
 		res.Topologies = append(res.Topologies, name)
 		res.Gap = append(res.Gap, rows[i].gaps)
@@ -135,6 +138,7 @@ func (r *Fig14Result) Render() string {
 		fmt.Fprintf(&b, " iter%d=%3.0f%%", it+1, 100*fr)
 	}
 	b.WriteString("\n")
+	b.WriteString(renderFailures(r.Failures))
 	return b.String()
 }
 
@@ -148,6 +152,8 @@ type Fig15Result struct {
 	IPTimedOut []bool
 	// SubproblemSolves per topology (the pruning effectiveness).
 	SubproblemSolves []int
+	// Failures lists topologies that failed and were excluded.
+	Failures []TopoFailure
 }
 
 // Fig15 measures solving times. IP runs get a node budget standing in for
@@ -174,7 +180,7 @@ func Fig15(cfg Config, ipNodeBudget int) (*Fig15Result, error) {
 		ipTLE            bool
 	}
 	rows := make([]row, len(cfg.Topologies))
-	if err := cfg.forEachTopo(func(i int, name string) error {
+	fails, err := cfg.forEachTopo(func(i int, name string) error {
 		inst, err := cfg.SingleClass(name)
 		if err != nil {
 			return err
@@ -203,10 +209,16 @@ func Fig15(cfg Config, ipNodeBudget int) (*Fig15Result, error) {
 		rows[i].ipT = time.Since(start)
 		rows[i].ipTLE = ipS.Status.String() != "optimal"
 		return nil
-	}); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
+	res.Failures = fails
+	failed := failedSet(fails)
 	for i, name := range cfg.Topologies {
+		if failed[name] {
+			continue
+		}
 		res.Topologies = append(res.Topologies, name)
 		res.Links = append(res.Links, rows[i].links)
 		res.FlexileT = append(res.FlexileT, rows[i].flexT)
@@ -232,6 +244,7 @@ func (r *Fig15Result) Render() string {
 		fmt.Fprintf(&b, "  %-16s %6d %12s %14s %10d\n", name, r.Links[i],
 			r.FlexileT[i].Round(time.Millisecond), ipStr, r.SubproblemSolves[i])
 	}
+	b.WriteString(renderFailures(r.Failures))
 	return b.String()
 }
 
@@ -241,6 +254,8 @@ type Fig18Result struct {
 	Topologies []string
 	// MaxScale[scheme][i] on Topologies[i].
 	MaxScale map[string][]float64
+	// Failures lists topologies that failed and were excluded.
+	Failures []TopoFailure
 }
 
 // Fig18 searches (bisection) the largest low-priority scale factor with
@@ -254,7 +269,7 @@ func Fig18(cfg Config, topologies []string) (*Fig18Result, error) {
 			topologies = []string{"Sprint", "CWIX"}
 		}
 	}
-	res := &Fig18Result{Topologies: topologies, MaxScale: map[string][]float64{}}
+	res := &Fig18Result{MaxScale: map[string][]float64{}}
 	lossOf := func(mk func() scheme.Scheme) func(*te.Instance) ([][]float64, error) {
 		return func(trial *te.Instance) ([][]float64, error) {
 			r, err := mk().Route(trial)
@@ -266,8 +281,8 @@ func Fig18(cfg Config, topologies []string) (*Fig18Result, error) {
 	}
 	fxScale := make([]float64, len(topologies))
 	swScale := make([]float64, len(topologies))
-	if err := par.ForEach(cfg.Workers, len(topologies), func(i int) error {
-		base, err := cfg.TwoClass(topologies[i])
+	fails, err := cfg.sweep(topologies, func(i int, name string) error {
+		base, err := cfg.TwoClass(name)
 		if err != nil {
 			return err
 		}
@@ -284,11 +299,20 @@ func Fig18(cfg Config, topologies []string) (*Fig18Result, error) {
 		}
 		fxScale[i], swScale[i] = fx, sw
 		return nil
-	}); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
-	res.MaxScale["Flexile"] = fxScale
-	res.MaxScale["SWAN-Maxmin"] = swScale
+	res.Failures = fails
+	failed := failedSet(fails)
+	for i, name := range topologies {
+		if failed[name] {
+			continue
+		}
+		res.Topologies = append(res.Topologies, name)
+		res.MaxScale["Flexile"] = append(res.MaxScale["Flexile"], fxScale[i])
+		res.MaxScale["SWAN-Maxmin"] = append(res.MaxScale["SWAN-Maxmin"], swScale[i])
+	}
 	return res, nil
 }
 
@@ -301,5 +325,6 @@ func (r *Fig18Result) Render() string {
 		fmt.Fprintf(&b, "  %-16s %10.2f %13.2f\n", name,
 			r.MaxScale["Flexile"][i], r.MaxScale["SWAN-Maxmin"][i])
 	}
+	b.WriteString(renderFailures(r.Failures))
 	return b.String()
 }

@@ -14,9 +14,12 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"flexile/internal/eval"
@@ -77,6 +80,12 @@ type Config struct {
 	// cores when Workers > 1, so timing figures (Fig. 15) should be read
 	// from Workers=1 runs.
 	Workers int
+	// Timeout bounds the wall clock of each per-topology sweep; 0 means
+	// unlimited. The deadline is checked before each topology starts, so
+	// a topology already being solved runs to completion; an expired
+	// deadline aborts the sweep with an error wrapping
+	// context.DeadlineExceeded.
+	Timeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -116,15 +125,75 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// TopoFailure records one topology whose run failed during a sweep; the
+// topology is excluded from the figure's series and reported alongside.
+type TopoFailure struct {
+	Topology string
+	Err      string
+}
+
 // forEachTopo runs fn(i, c.Topologies[i]) for every configured topology
 // across the worker pool. fn must write its results into slots indexed by
 // i (never append to shared state), which keeps every figure's output
 // identical regardless of Workers. Call on a cfg that already has
 // withDefaults applied.
-func (c Config) forEachTopo(fn func(i int, name string) error) error {
-	return par.ForEach(c.Workers, len(c.Topologies), func(i int) error {
-		return fn(i, c.Topologies[i])
+//
+// Failure isolation: a failing topology — an error or a recovered panic —
+// does not abort the sweep. Every topology runs; the failures come back as
+// TopoFailure values (in topology order) and the caller drops the failed
+// rows from its series. Only cancellation (Config.Timeout) aborts the
+// sweep with an error.
+func (c Config) forEachTopo(fn func(i int, name string) error) ([]TopoFailure, error) {
+	return c.sweep(c.Topologies, fn)
+}
+
+// sweep is forEachTopo over an explicit topology list (Fig. 18 uses its
+// own subset).
+func (c Config) sweep(names []string, fn func(i int, name string) error) ([]TopoFailure, error) {
+	ctx := context.Background()
+	if c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
+	errs := par.Collect(ctx, c.Workers, len(names), func(_, i int) error {
+		return fn(i, names[i])
 	})
+	var fails []TopoFailure
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, fmt.Errorf("experiments: topology sweep canceled: %w", err)
+		}
+		fails = append(fails, TopoFailure{Topology: names[i], Err: err.Error()})
+	}
+	return fails, nil
+}
+
+// failedSet indexes sweep failures by topology name.
+func failedSet(fails []TopoFailure) map[string]bool {
+	if len(fails) == 0 {
+		return nil
+	}
+	out := make(map[string]bool, len(fails))
+	for _, f := range fails {
+		out[f.Topology] = true
+	}
+	return out
+}
+
+// renderFailures formats a sweep's failure list for text reports.
+func renderFailures(fails []TopoFailure) string {
+	if len(fails) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, f := range fails {
+		fmt.Fprintf(&b, "  FAILED %-16s %s\n", f.Topology, f.Err)
+	}
+	return b.String()
 }
 
 // topoSeed perturbs the base seed per topology so different networks get

@@ -1,0 +1,191 @@
+// Package faultinject is a seeded, deterministic fault injector for the
+// scenario-parallel solve engine. Tests wrap it around the per-worker LP
+// solver of the flexile offline decomposition to force every failure class
+// the engine must survive — a singular basis, iteration-limit exhaustion,
+// a worker panic, and an artificially slow solve that trips timeouts —
+// without depending on rare numerical accidents.
+//
+// Determinism contract: whether a fault fires, and which kind, depends
+// ONLY on (seed, item, attempt). It never depends on the worker id, the
+// wall clock, or the order in which workers drain the queue. Consequently
+// the same faults fire for any worker count, and the degraded results of
+// a faulted run are bit-for-bit identical across worker counts — the same
+// property PR 1 established for fault-free runs.
+//
+// The injected errors wrap the lp package's sentinels (lp.ErrSingularBasis,
+// lp.ErrIterLimit) so the decomposition's retry policy classifies them with
+// errors.Is exactly as it classifies organic failures.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"flexile/internal/lp"
+)
+
+// Kind is a class of injected failure.
+type Kind int
+
+const (
+	// SingularBasis injects an error wrapping lp.ErrSingularBasis — the
+	// numerically-degraded refactorization failure, which the retry policy
+	// treats as retryable with hardened settings.
+	SingularBasis Kind = iota
+	// IterLimit injects an error wrapping lp.ErrIterLimit — iteration
+	// budget exhaustion, also retryable.
+	IterLimit
+	// Panic makes the hook panic, exercising the pool's recover path.
+	// Panics are never retried: the scenario is skipped directly.
+	Panic
+	// Slow makes the hook sleep (SlowFor) before succeeding, exercising
+	// deadline and cancellation paths. Slow alone injects no error.
+	Slow
+)
+
+func (k Kind) String() string {
+	switch k {
+	case SingularBasis:
+		return "singular-basis"
+	case IterLimit:
+		return "iter-limit"
+	case Panic:
+		return "panic"
+	case Slow:
+		return "slow"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Injector decides, per (item, attempt), whether to inject a fault.
+// The zero value injects nothing. An Injector is safe for concurrent use.
+type Injector struct {
+	seed  uint64
+	rate  float64
+	kinds []Kind
+
+	// script overrides the seeded decision for specific items: script[item]
+	// lists the fault to fire on attempt 0, 1, ... (entries beyond the list
+	// mean no fault, so retries eventually succeed unless scripted again).
+	script map[int][]Kind
+
+	// SlowFor is the sleep applied by the Slow kind; 0 means 20ms.
+	SlowFor time.Duration
+
+	mu    sync.Mutex
+	fired map[Kind]int
+	calls int
+}
+
+// New returns a seeded injector that fires a fault on each (item, attempt)
+// with probability rate, cycling deterministically through kinds (all four
+// when empty). The decision is a pure function of (seed, item, attempt).
+func New(seed uint64, rate float64, kinds ...Kind) *Injector {
+	if len(kinds) == 0 {
+		kinds = []Kind{SingularBasis, IterLimit, Panic, Slow}
+	}
+	return &Injector{seed: seed, rate: rate, kinds: kinds}
+}
+
+// Script returns an injector that fires exactly the scripted faults:
+// script[item][attempt] is the kind injected on that attempt of that item;
+// attempts beyond the scripted list succeed. Items absent from the map are
+// never faulted. Scripted injection is what the recovery-path tests use to
+// hit each failure class precisely.
+func Script(script map[int][]Kind) *Injector {
+	return &Injector{script: script}
+}
+
+// splitmix64 is the usual 64-bit finalizer; good avalanche, no allocation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// decide returns the kind to inject for (item, attempt), or (0, false).
+func (j *Injector) decide(item, attempt int) (Kind, bool) {
+	if j.script != nil {
+		kinds, ok := j.script[item]
+		if !ok || attempt >= len(kinds) {
+			return 0, false
+		}
+		return kinds[attempt], true
+	}
+	if j.rate <= 0 {
+		return 0, false
+	}
+	h := splitmix64(j.seed ^ splitmix64(uint64(item)<<20|uint64(attempt)))
+	// Top 53 bits → uniform in [0, 1).
+	if float64(h>>11)/(1<<53) >= j.rate {
+		return 0, false
+	}
+	return j.kinds[h%uint64(len(j.kinds))], true
+}
+
+// Hook is the injection point: call it from the per-worker solver before
+// the real LP solve of (item, attempt). It returns a non-nil error (or
+// panics, for the Panic kind) when a fault fires. A nil *Injector is a
+// no-op, so callers can thread the hook unconditionally.
+func (j *Injector) Hook(item, attempt int) error {
+	if j == nil {
+		return nil
+	}
+	kind, fire := j.decide(item, attempt)
+	if !fire {
+		j.mu.Lock()
+		j.calls++
+		j.mu.Unlock()
+		return nil
+	}
+	j.mu.Lock()
+	j.calls++
+	if j.fired == nil {
+		j.fired = make(map[Kind]int)
+	}
+	j.fired[kind]++
+	j.mu.Unlock()
+	switch kind {
+	case SingularBasis:
+		return fmt.Errorf("faultinject: item %d attempt %d: %w", item, attempt, lp.ErrSingularBasis)
+	case IterLimit:
+		return fmt.Errorf("faultinject: item %d attempt %d: %w", item, attempt, lp.ErrIterLimit)
+	case Panic:
+		panic(fmt.Sprintf("faultinject: forced panic on item %d attempt %d", item, attempt))
+	case Slow:
+		d := j.SlowFor
+		if d == 0 {
+			d = 20 * time.Millisecond
+		}
+		time.Sleep(d)
+		return nil
+	}
+	return nil
+}
+
+// Fired reports how many faults of each kind have fired so far.
+func (j *Injector) Fired() map[Kind]int {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[Kind]int, len(j.fired))
+	for k, v := range j.fired {
+		out[k] = v
+	}
+	return out
+}
+
+// Calls reports the total number of Hook invocations observed.
+func (j *Injector) Calls() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.calls
+}

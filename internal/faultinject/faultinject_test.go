@@ -1,0 +1,100 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+
+	"flexile/internal/lp"
+)
+
+// Scripted faults must fire exactly as written, wrap the lp sentinels so
+// errors.Is classification works, and stop after the scripted attempts.
+func TestFaultScriptExactAndClassifiable(t *testing.T) {
+	inj := Script(map[int][]Kind{
+		3: {SingularBasis, IterLimit},
+		7: {Panic},
+	})
+	if err := inj.Hook(0, 0); err != nil {
+		t.Fatalf("unscripted item faulted: %v", err)
+	}
+	if err := inj.Hook(3, 0); !errors.Is(err, lp.ErrSingularBasis) {
+		t.Fatalf("item 3 attempt 0: got %v, want ErrSingularBasis", err)
+	}
+	if err := inj.Hook(3, 1); !errors.Is(err, lp.ErrIterLimit) {
+		t.Fatalf("item 3 attempt 1: got %v, want ErrIterLimit", err)
+	}
+	if err := inj.Hook(3, 2); err != nil {
+		t.Fatalf("item 3 attempt 2 should succeed, got %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("item 7 attempt 0: want panic")
+			}
+		}()
+		inj.Hook(7, 0)
+	}()
+	fired := inj.Fired()
+	if fired[SingularBasis] != 1 || fired[IterLimit] != 1 || fired[Panic] != 1 {
+		t.Fatalf("fired counts: %v", fired)
+	}
+}
+
+// Seeded decisions must be a pure function of (seed, item, attempt):
+// identical across repeated queries and across query order, so fault
+// behavior cannot depend on worker count or scheduling.
+func TestFaultSeededDeterministicAcrossOrder(t *testing.T) {
+	const n = 200
+	record := func(order []int) map[int]Kind {
+		inj := New(42, 0.3, SingularBasis, IterLimit)
+		got := make(map[int]Kind)
+		for _, i := range order {
+			if k, fire := inj.decide(i, 0); fire {
+				got[i] = k
+			}
+		}
+		return got
+	}
+	fwd := make([]int, n)
+	rev := make([]int, n)
+	for i := 0; i < n; i++ {
+		fwd[i] = i
+		rev[i] = n - 1 - i
+	}
+	a, b := record(fwd), record(rev)
+	if len(a) == 0 {
+		t.Fatal("rate 0.3 over 200 items fired nothing; hash is broken")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("fired %d forward vs %d reverse", len(a), len(b))
+	}
+	for i, k := range a {
+		if b[i] != k {
+			t.Fatalf("item %d: %v forward vs %v reverse", i, k, b[i])
+		}
+	}
+	// A different attempt index must be an independent decision stream.
+	inj := New(42, 0.3, SingularBasis, IterLimit)
+	same := true
+	for i := 0; i < n; i++ {
+		_, f0 := inj.decide(i, 0)
+		_, f1 := inj.decide(i, 1)
+		if f0 != f1 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("attempt index does not influence decisions")
+	}
+}
+
+// A nil injector must be a safe no-op so callers thread it unconditionally.
+func TestFaultNilInjectorNoOp(t *testing.T) {
+	var inj *Injector
+	if err := inj.Hook(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Fired() != nil || inj.Calls() != 0 {
+		t.Fatal("nil injector reported activity")
+	}
+}

@@ -18,9 +18,24 @@
 package lp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"time"
 )
+
+// ErrSingularBasis reports that numerical degradation made the basis
+// singular beyond what the internal logical-basis restart could repair.
+// Callers running a retry policy (the flexile decomposition's degraded
+// mode) match it with errors.Is and re-solve with hardened settings.
+var ErrSingularBasis = errors.New("lp: singular basis during refactorization")
+
+// ErrIterLimit is a sentinel for callers that treat the IterLimit status
+// as a failure: the solver itself reports iteration exhaustion through
+// Solution.Status, but layers that require an Optimal solve (the flexile
+// subproblems) wrap this error so retry policies can classify it.
+var ErrIterLimit = errors.New("lp: iteration limit exhausted")
 
 // Inf is the canonical unbounded value for row and column bounds.
 var Inf = math.Inf(1)
@@ -192,6 +207,14 @@ type Options struct {
 	// (typically with modified bounds, the branch-and-bound pattern). An
 	// incompatible basis is ignored.
 	StartBasis *Basis
+	// Timeout bounds the wall-clock time of one solve; 0 means unlimited.
+	// The deadline is checked every few pivots, so an expired solve returns
+	// context.DeadlineExceeded (wrapped) within a handful of iterations.
+	Timeout time.Duration
+	// Bland starts every phase under Bland's rule immediately instead of
+	// waiting for a stall, trading speed for guaranteed anti-cycling — the
+	// hardened setting retry policies use after a numerical failure.
+	Bland bool
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -212,6 +235,27 @@ func (p *Problem) Solve() (*Solution, error) { return p.SolveOpts(Options{}) }
 
 // SolveOpts optimizes the problem with the given options.
 func (p *Problem) SolveOpts(opts Options) (*Solution, error) {
-	s := newSimplex(p, opts)
+	return p.SolveCtx(context.Background(), opts)
+}
+
+// SolveCtx optimizes the problem under a context: cancellation or an
+// expired deadline (the context's or Options.Timeout, whichever is
+// sooner) aborts the simplex within a few pivots and returns the context
+// error wrapped. A nil ctx is treated as context.Background().
+func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Solution, error) {
+	s, err := newSimplex(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.ctx = ctx
+	if opts.Timeout > 0 {
+		s.deadline = time.Now().Add(opts.Timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (s.deadline.IsZero() || d.Before(s.deadline)) {
+		s.deadline = d
+	}
 	return s.solve()
 }

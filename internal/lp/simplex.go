@@ -1,15 +1,13 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 )
-
-// errSingularBasis signals that numerical degradation made the recorded
-// basis singular; solve() recovers by restarting from the logical basis.
-var errSingularBasis = errors.New("lp: singular basis during refactorization")
 
 // Variable status within the simplex tableau.
 type varStatus int8
@@ -56,9 +54,13 @@ type simplex struct {
 
 	pivots        int
 	sinceRefactor int
+
+	// Cancellation: checked every checkCancelEvery iterations inside run.
+	ctx      context.Context
+	deadline time.Time // zero = none
 }
 
-func newSimplex(p *Problem, opts Options) *simplex {
+func newSimplex(p *Problem, opts Options) (*simplex, error) {
 	n, m := p.NumCols(), p.NumRows()
 	s := &simplex{
 		p:    p,
@@ -66,7 +68,9 @@ func newSimplex(p *Problem, opts Options) *simplex {
 		n:    n,
 		m:    m,
 	}
-	s.buildColumns()
+	if err := s.buildColumns(); err != nil {
+		return nil, err
+	}
 	s.lb = make([]float64, n+m)
 	s.ub = make([]float64, n+m)
 	copy(s.lb, p.colLB)
@@ -86,18 +90,20 @@ func newSimplex(p *Problem, opts Options) *simplex {
 	s.y = make([]float64, m)
 	s.w = make([]float64, m)
 	s.cc = make([]float64, n+m)
-	return s
+	return s, nil
 }
 
 // buildColumns converts the row-wise insertion buffers into compressed
-// sparse columns, summing duplicate coefficients.
-func (s *simplex) buildColumns() {
+// sparse columns, summing duplicate coefficients. An out-of-range entry
+// column is a model-construction bug reported as a validation error, like
+// inconsistent bounds.
+func (s *simplex) buildColumns() error {
 	n, m := s.n, s.m
 	counts := make([]int, n+1)
-	for _, row := range s.p.rows {
+	for i, row := range s.p.rows {
 		for _, e := range row {
 			if e.Col < 0 || e.Col >= n {
-				panic(fmt.Sprintf("lp: entry column %d out of range [0,%d)", e.Col, n))
+				return fmt.Errorf("lp: row %q entry column %d out of range [0,%d)", s.p.rowName[i], e.Col, n)
 			}
 			counts[e.Col+1]++
 		}
@@ -149,6 +155,26 @@ func (s *simplex) buildColumns() {
 	s.colPtr = ptr
 	s.colIdx = idx[:outN]
 	s.colVal = val[:outN]
+	return nil
+}
+
+// checkCancelEvery is how many simplex iterations pass between
+// cancellation/deadline checks: rare enough that the time.Now call is
+// noise, frequent enough that a canceled solve stops within microseconds.
+const checkCancelEvery = 64
+
+// checkCancel reports the context/deadline error once the solve should
+// abort, or nil to continue.
+func (s *simplex) checkCancel() error {
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			return fmt.Errorf("lp: solve canceled: %w", err)
+		}
+	}
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		return fmt.Errorf("lp: solve timed out: %w", context.DeadlineExceeded)
+	}
+	return nil
 }
 
 // initialValue places a nonbasic variable at a sensible bound.
@@ -217,7 +243,7 @@ func (s *simplex) solve() (*Solution, error) {
 
 	iters := 0
 	sol, err := s.optimize(&iters)
-	if err == errSingularBasis {
+	if errors.Is(err, ErrSingularBasis) {
 		// Numerical degradation corrupted the basis; restart once from the
 		// pristine logical basis.
 		s.resetToLogicalBasis()
@@ -425,13 +451,18 @@ func (s *simplex) ftran(q int) {
 func (s *simplex) run(phase int, iters *int) (Status, error) {
 	tol := s.opts.Tol
 	dualTol := math.Max(tol, 1e-9)
-	bland := false
+	bland := s.opts.Bland
 	stall := 0
 	lastObj := math.Inf(1)
 
 	for {
 		if *iters >= s.opts.MaxIters {
 			return IterLimit, nil
+		}
+		if *iters%checkCancelEvery == 0 {
+			if err := s.checkCancel(); err != nil {
+				return 0, err
+			}
 		}
 		if s.sinceRefactor >= s.opts.RefactorEvery {
 			if err := s.refactor(); err != nil {
@@ -822,7 +853,7 @@ func (s *simplex) refactor() error {
 			}
 		}
 		if best < 1e-12 {
-			return errSingularBasis
+			return ErrSingularBasis
 		}
 		if p != c {
 			swapRows(a, m, p, c)

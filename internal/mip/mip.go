@@ -12,6 +12,7 @@ package mip
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -130,6 +131,17 @@ func (h *nodeHeap) Pop() interface{} {
 
 // Solve runs branch and bound.
 func Solve(p *Problem, opts Options) (*Solution, error) {
+	return SolveCtx(context.Background(), p, opts)
+}
+
+// SolveCtx runs branch and bound under a context: the context is checked
+// before every node and threaded into each LP relaxation solve, so
+// cancellation or an expired deadline aborts mid-search with the context
+// error. A nil ctx is treated as context.Background().
+func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	lpp := p.LP
 	nb := len(p.Binary)
@@ -171,7 +183,7 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 		applyFixes(fixes)
 		lo := opts.LP
 		lo.StartBasis = basis
-		ls, err := lpp.SolveOpts(lo)
+		ls, err := lpp.SolveCtx(ctx, lo)
 		if err != nil || ls.Status != lp.Optimal {
 			return
 		}
@@ -192,6 +204,9 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 	heap.Init(h)
 
 	for h.Len() > 0 && sol.Nodes < opts.MaxNodes {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mip: solve canceled: %w", err)
+		}
 		nd := heap.Pop(h).(*node)
 		if nd.bound >= sol.Objective-opts.RelGap*math.Abs(sol.Objective)-1e-12 {
 			// The global bound is the smallest remaining node bound.
@@ -202,7 +217,7 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 		applyFixes(nd.fixes)
 		lo := opts.LP
 		lo.StartBasis = nd.basis
-		ls, err := lpp.SolveOpts(lo)
+		ls, err := lpp.SolveCtx(ctx, lo)
 		if err != nil {
 			return nil, err
 		}

@@ -8,15 +8,44 @@
 // caller observes identical output regardless of the worker count or the
 // order in which workers drain the queue. With workers == 1 the loop runs
 // inline on the calling goroutine — exactly the pre-parallel behavior, with
-// no goroutines spawned. When any item fails, the error reported is the one
-// with the lowest item index, again independent of scheduling.
+// no goroutines spawned.
+//
+// Failure contract: a panic inside fn never escapes the pool — it is
+// recovered into a *PanicError carrying the worker id, item index and
+// stack, and reported like any other item error, so one crashing scenario
+// solve cannot take down the process. The fail-fast helpers (ForEach,
+// ForEachWorker, Map) join every observed item error in ascending item
+// order (errors.Join); Collect runs all items regardless of failures and
+// hands back the full per-item error vector for callers that degrade
+// per item instead of aborting.
 package par
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a panic recovered inside a pool worker, with enough
+// metadata to pin the crash to one work item.
+type PanicError struct {
+	// Worker is the worker id (0 ≤ Worker < workers) that hit the panic.
+	Worker int
+	// Item is the index of the work item whose fn panicked.
+	Item int
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: panic on item %d (worker %d): %v", e.Item, e.Worker, e.Value)
+}
 
 // Workers resolves a configured worker count: 0 means runtime.NumCPU()
 // (use every core), negative or one means strictly sequential.
@@ -30,10 +59,19 @@ func Workers(n int) int {
 	return n
 }
 
+// protect runs fn(worker, i), converting a panic into a *PanicError.
+func protect(fn func(worker, i int) error, worker, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Worker: worker, Item: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(worker, i)
+}
+
 // ForEach runs fn(i) for every i in [0, n) across at most workers
-// goroutines and returns the lowest-index error (nil when every call
-// succeeds). After the first observed failure remaining items are skipped;
-// items already in flight still finish.
+// goroutines and returns the joined item errors in ascending item order
+// (nil when every call succeeds). Error semantics match ForEachWorker.
 func ForEach(workers, n int, fn func(i int) error) error {
 	return ForEachWorker(workers, n, func(_, i int) error { return fn(i) })
 }
@@ -41,6 +79,15 @@ func ForEach(workers, n int, fn func(i int) error) error {
 // ForEachWorker is ForEach with the worker id (0 ≤ w < workers) passed to
 // every call. Each worker id runs on a single goroutine, so per-worker
 // scratch state (e.g. a worker-local LP instance) needs no locking.
+//
+// Stop guarantee on failure: the pool stops claiming new items once a
+// failure is recorded, and re-checks the failure flag immediately before
+// invoking fn, so an item claimed after a failing call returned on the
+// same worker is never run, and any item whose check happens after the
+// flag is set is skipped. Items already executing when the failure lands
+// run to completion — at most workers−1 of them. Every error observed
+// (including panics recovered as *PanicError) is reported, joined in
+// ascending item order.
 func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 	workers = Workers(workers)
 	if n <= 0 {
@@ -51,8 +98,8 @@ func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(0, i); err != nil {
-				return err
+			if err := protect(fn, 0, i); err != nil {
+				return errors.Join(err)
 			}
 		}
 		return nil
@@ -72,7 +119,13 @@ func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := fn(worker, i); err != nil {
+				// Re-check immediately before invoking fn: a failure
+				// recorded between the claim above and this point skips
+				// the item instead of running it.
+				if failed.Load() {
+					return
+				}
+				if err := protect(fn, worker, i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 					return
@@ -81,12 +134,7 @@ func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 		}(w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Map runs fn(i) for every i in [0, n) across at most workers goroutines
@@ -105,4 +153,59 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// Collect runs fn(worker, i) for every i in [0, n) across at most workers
+// goroutines and returns the per-item error vector: unlike the fail-fast
+// helpers, an item failure (error or recovered panic) does not stop the
+// remaining items — the caller decides per item whether to retry, degrade
+// or abort. Only context cancellation stops the loop early: items never
+// started are reported with the context error, so the caller can tell a
+// skipped item from a failed one with errors.Is(err, ctx.Err()). A nil
+// ctx is treated as context.Background().
+func Collect(ctx context.Context, workers, n int, fn func(worker, i int) error) []error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	errs := make([]error, n)
+	if n <= 0 {
+		return errs
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
+			errs[i] = protect(fn, 0, i)
+		}
+		return errs
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue // mark every remaining claimed item
+				}
+				errs[i] = protect(fn, worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return errs
 }

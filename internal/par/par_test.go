@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -40,10 +41,10 @@ func TestForEachCoversAllItems(t *testing.T) {
 	}
 }
 
-// The reported error must be the lowest-index failure regardless of
-// scheduling; later items may be skipped but earlier successes must not
-// affect the choice.
-func TestForEachLowestIndexError(t *testing.T) {
+// Every observed failure must be reported (errors.Join), and the
+// lowest-index failure is always among them regardless of scheduling:
+// with sequential claiming, item 10 is claimed before any item > 20.
+func TestForEachReportsAllObservedErrors(t *testing.T) {
 	for _, workers := range []int{1, 4, 16} {
 		wantErr := errors.New("boom-10")
 		err := ForEach(workers, 64, func(i int) error {
@@ -58,10 +59,128 @@ func TestForEachLowestIndexError(t *testing.T) {
 		if err == nil {
 			t.Fatalf("workers=%d: want error", workers)
 		}
-		// Item 10 always runs before any item > 20 can be the lowest
-		// failure: with sequential claiming, index 10 is claimed before 21.
-		if err != wantErr && err.Error() > wantErr.Error() {
-			t.Fatalf("workers=%d: got %v, want lowest-index error %v", workers, err, wantErr)
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("workers=%d: joined error %v does not include lowest-index failure %v", workers, err, wantErr)
+		}
+	}
+}
+
+// A panic in fn must surface as a *PanicError with item metadata, not
+// crash the process, for both the inline and the pooled paths.
+func TestForEachRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 16, func(i int) error {
+			if i == 5 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: want *PanicError, got %v", workers, err)
+		}
+		if pe.Item != 5 {
+			t.Fatalf("workers=%d: panic attributed to item %d, want 5", workers, pe.Item)
+		}
+		if pe.Value != "kaboom" || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: panic metadata incomplete: %+v", workers, pe)
+		}
+	}
+}
+
+// After a failing call returns, the failing worker must never run another
+// item: the flag is stored before the next claim on that goroutine, and
+// every worker re-checks the flag immediately before invoking fn.
+func TestForEachStopsClaimingAfterFailure(t *testing.T) {
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	err := ForEachWorker(1, 100, func(_, i int) error {
+		ran.Add(1)
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("sequential: %d items ran after failure at item 2, want 3", got)
+	}
+	// Pooled: a failure on item 0 stops the sweep long before item n−1;
+	// in-flight items (at most workers−1) may still finish.
+	workers := 4
+	ran.Store(0)
+	err = ForEachWorker(workers, 10000, func(_, i int) error {
+		if i == 0 {
+			return boom
+		}
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("pooled: got %v", err)
+	}
+	if got := ran.Load(); got >= 10000-1 {
+		t.Fatalf("pooled: %d items still ran after an immediate failure", got)
+	}
+}
+
+// Collect must run every item despite failures, attribute each error to
+// its item, and recover panics into per-item *PanicError values.
+func TestCollectRunsAllItems(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		n := 50
+		var ran atomic.Int32
+		errs := Collect(context.Background(), workers, n, func(_, i int) error {
+			ran.Add(1)
+			switch {
+			case i%10 == 3:
+				return fmt.Errorf("fail-%d", i)
+			case i == 17:
+				panic("pow")
+			}
+			return nil
+		})
+		if got := ran.Load(); got != int32(n) {
+			t.Fatalf("workers=%d: %d of %d items ran", workers, got, n)
+		}
+		for i, err := range errs {
+			switch {
+			case i == 17:
+				var pe *PanicError
+				if !errors.As(err, &pe) || pe.Item != 17 {
+					t.Fatalf("workers=%d: item 17: want PanicError, got %v", workers, err)
+				}
+			case i%10 == 3:
+				if err == nil || err.Error() != fmt.Sprintf("fail-%d", i) {
+					t.Fatalf("workers=%d: item %d: got %v", workers, i, err)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("workers=%d: item %d: unexpected error %v", workers, i, err)
+				}
+			}
+		}
+	}
+}
+
+// Collect under a canceled context must mark unstarted items with the
+// context error instead of running them.
+func TestCollectHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	errs := Collect(ctx, 4, 32, func(_, i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("%d items ran under a pre-canceled context", got)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("item %d: got %v, want context.Canceled", i, err)
 		}
 	}
 }

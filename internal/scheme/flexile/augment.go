@@ -1,6 +1,7 @@
 package flexile
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -149,7 +150,7 @@ func Augment(inst *te.Instance, opt AugmentOptions) (*AugmentResult, error) {
 		worst := make([]float64, len(inst.Classes))
 		feasible := true
 		for q := range inst.Scenarios {
-			sol, err := sp.solve(q, func(f int) bool { return z.Get(f, q) }, aliveMask[q], nil, nil)
+			sol, err := sp.solve(context.Background(), q, func(f int) bool { return z.Get(f, q) }, aliveMask[q], nil, nil)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package flexile
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -95,7 +96,7 @@ func TestSubproblemPerScenarioOptimum(t *testing.T) {
 			k, i := inst.FlowOf(f)
 			return inst.Demand[k][i] > 0 && inst.FlowConnected(k, i, scen)
 		}
-		sol, err := sp.solve(q, crit, alive, nil, nil)
+		sol, err := sp.solve(context.Background(), q, crit, alive, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,7 +128,7 @@ func TestSubproblemCutSelfConsistency(t *testing.T) {
 			k, i := inst.FlowOf(f)
 			return inst.Demand[k][i] > 0 && inst.FlowConnected(k, i, scen)
 		}
-		sol, err := sp.solve(q, crit, alive, nil, nil)
+		sol, err := sp.solve(context.Background(), q, crit, alive, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -154,14 +155,14 @@ func TestSubproblemCutIsLowerBound(t *testing.T) {
 	alive := scen.AliveMask(3)
 	aliveCap := []float64{0, 1, 1}
 	both := func(f int) bool { return f < 2 }
-	sol, err := sp.solve(qFail, both, alive, nil, nil)
+	sol, err := sp.solve(context.Background(), qFail, both, alive, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Transplant the cut to the critical set {flow 1 only}.
 	only1 := func(f int) bool { return f == 1 }
 	bound := sol.cut.value(only1, aliveCap)
-	truth, err := sp.solve(qFail, only1, alive, nil, nil)
+	truth, err := sp.solve(context.Background(), qFail, only1, alive, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package flexile
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -50,6 +52,29 @@ type Options struct {
 	Workers int
 	// LP tunes all LP solves.
 	LP lp.Options
+	// Timeout bounds the wall-clock time of the whole offline solve;
+	// 0 means unlimited. An expired deadline aborts the decomposition with
+	// an error wrapping context.DeadlineExceeded — degraded mode never
+	// swallows cancellation.
+	Timeout time.Duration
+	// Retries is how many times a failed scenario subproblem is re-solved
+	// under hardened LP settings (Bland's rule, a larger pivot budget)
+	// before the scenario is skipped for the iteration. Only retryable
+	// failures — lp.ErrSingularBasis, lp.ErrIterLimit — are retried;
+	// panics and infeasibility skip directly. 0 means 1; negative disables
+	// retries.
+	Retries int
+	// FailFast restores the pre-degraded-mode behavior: the first scenario
+	// or master failure aborts the whole solve with an error instead of
+	// degrading and reporting.
+	FailFast bool
+	// FaultHook, when non-nil, runs before every scenario subproblem solve
+	// with the scenario index and the 0-based attempt number; a non-nil
+	// return (or a panic) is treated exactly like a failure of the real
+	// solve. It exists for deterministic fault injection in tests
+	// (internal/faultinject) and must decide independently of worker
+	// identity or timing to preserve cross-worker-count determinism.
+	FaultHook func(q, attempt int) error
 }
 
 func (o Options) withDefaults(bits int) Options {
@@ -71,8 +96,76 @@ func (o Options) withDefaults(bits int) Options {
 	if o.Gamma == 0 {
 		o.Gamma = -1 // Options{} disables the γ bound
 	}
+	if o.Retries == 0 {
+		o.Retries = 1
+	} else if o.Retries < 0 {
+		o.Retries = 0
+	}
 	o.Workers = par.Workers(o.Workers)
 	return o
+}
+
+// hardenLP derives the retry settings used after a retryable scenario
+// failure: Bland's rule from the first pivot (guaranteed anti-cycling) and
+// a 4× pivot budget when the caller set an explicit one.
+func hardenLP(o lp.Options) lp.Options {
+	o.Bland = true
+	if o.MaxIters > 0 {
+		o.MaxIters *= 4
+	}
+	return o
+}
+
+// isCtxErr reports whether err stems from cancellation or deadline expiry.
+// Such errors always abort the solve — they are the caller's intent, not a
+// numerical accident to degrade around.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// retryableErr reports whether a scenario failure is worth re-solving
+// under hardened settings.
+func retryableErr(err error) bool {
+	return errors.Is(err, lp.ErrSingularBasis) || errors.Is(err, lp.ErrIterLimit)
+}
+
+// ScenarioFault records one scenario subproblem failure event.
+type ScenarioFault struct {
+	// Scenario is the failing scenario's index.
+	Scenario int
+	// Iteration is the decomposition iteration the failure occurred in.
+	Iteration int
+	// Attempts is how many solve attempts were made (1 + retries).
+	Attempts int
+	// Err is the (final) failure, stringified for stable reporting.
+	Err string
+}
+
+// SolveReport is the structured degraded-mode account of one offline
+// solve: which scenarios needed retries, which were skipped outright (and
+// so contributed a conservative loss of 1 until re-solved), which ScenLoss
+// precomputes fell back to the trivial bound, and any master-step failures
+// that ended the decomposition early with the best incumbent.
+type SolveReport struct {
+	// Retried lists scenario solves that failed and then recovered under
+	// hardened settings; Err is the failure that triggered the retry.
+	Retried []ScenarioFault
+	// Skipped lists scenario solves that exhausted their attempts; the
+	// scenario keeps its previous solution (or a loss of 1 if it has
+	// none) and is re-attempted on the next iteration.
+	Skipped []ScenarioFault
+	// ScenLossFallback lists scenarios whose optimal-ScenLoss precompute
+	// failed; their bound falls back to 1 (no constraint in γ mode).
+	ScenLossFallback []int
+	// MasterFailures lists master-step errors ("iteration N: ..."); a
+	// master failure ends the decomposition with the best incumbent.
+	MasterFailures []string
+}
+
+// Degraded reports whether any fault was recorded.
+func (r *SolveReport) Degraded() bool {
+	return len(r.Retried) > 0 || len(r.Skipped) > 0 ||
+		len(r.ScenLossFallback) > 0 || len(r.MasterFailures) > 0
 }
 
 // OfflineResult is the output of the offline phase: which scenarios are
@@ -101,17 +194,40 @@ type OfflineResult struct {
 	SubproblemSolves int
 	// Elapsed is the wall-clock offline time.
 	Elapsed time.Duration
+	// Report is the degraded-mode account: retried and skipped scenarios,
+	// ScenLoss fallbacks, master failures. Report.Degraded() is false for
+	// a clean solve.
+	Report SolveReport
 }
 
 // Offline runs Flexile's decomposition: identify the critical scenarios of
 // every flow so that, in each class, scenarios covering probability β_k
 // give each flow loss at most PercLoss_k, minimizing Σ_k w_k·PercLoss_k.
 func Offline(inst *te.Instance, opt Options) (*OfflineResult, error) {
+	return OfflineCtx(context.Background(), inst, opt)
+}
+
+// OfflineCtx is Offline under a context. Cancellation (or Options.Timeout,
+// whichever expires first) aborts the decomposition — including any LP solve
+// in flight — with an error wrapping the context error. All other failures
+// go through the degraded-mode policy: retry retryable scenario failures
+// under hardened settings, then skip the scenario for the iteration, and
+// record everything in the result's SolveReport; only Options.FailFast
+// restores abort-on-first-failure. A nil ctx is context.Background().
+func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineResult, error) {
 	start := time.Now()
 	nf, nq := inst.NumFlows(), len(inst.Scenarios)
 	opt = opt.withDefaults(nf * nq)
 	if nq == 0 {
 		return nil, fmt.Errorf("flexile: instance has no scenarios")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
 	}
 
 	// Connectivity of every flow in every scenario: z_fq is fixed to 0 for
@@ -158,23 +274,38 @@ func Offline(inst *te.Instance, opt Options) (*OfflineResult, error) {
 		}
 	}
 
+	var report SolveReport
+
 	// Per-scenario optimal ScenLoss over connected flows (for γ and for
 	// reporting). Each solve builds its own LP, so the scenarios fan out
 	// across the worker pool; results land at index q regardless of order.
+	// A failed precompute degrades to the trivial bound ScenLoss = 1
+	// (which in γ mode relaxes the scenario's loss cap to no constraint)
+	// instead of aborting the whole solve.
 	scenLossOpt := make([]float64, nq)
-	if err := par.ForEach(opt.Workers, nq, func(q int) error {
+	for q, err := range par.Collect(ctx, opt.Workers, nq, func(_, q int) error {
 		var capUse []float64
 		if opt.ScenFixedUse != nil {
 			capUse = opt.ScenFixedUse[q]
 		}
-		zScale, _, _, err := te.MaxConcurrentScaleOpts(inst, inst.Scenarios[q], nil, inst.ScenDemandVector(q), capUse)
+		zScale, _, _, err := te.MaxConcurrentScaleCtx(ctx, inst, inst.Scenarios[q], nil, inst.ScenDemandVector(q), capUse)
 		if err != nil {
 			return err
 		}
 		scenLossOpt[q] = math.Max(0, 1-math.Min(1, zScale))
 		return nil
-	}); err != nil {
-		return nil, err
+	}) {
+		if err == nil {
+			continue
+		}
+		if isCtxErr(err) {
+			return nil, fmt.Errorf("flexile: offline solve canceled: %w", err)
+		}
+		if opt.FailFast {
+			return nil, fmt.Errorf("flexile: scenario %d loss precompute: %w", q, err)
+		}
+		scenLossOpt[q] = 1
+		report.ScenLossFallback = append(report.ScenLossFallback, q)
 	}
 	var lossUB [][]float64 // [q][f], only for γ mode
 	if opt.Gamma >= 0 {
@@ -205,7 +336,7 @@ func Offline(inst *te.Instance, opt Options) (*OfflineResult, error) {
 	sps := make([]*subproblem, opt.Workers)
 	var spByQMu sync.Mutex
 	spByQ := make(map[int]*subproblem)
-	solveSub := func(worker, q int, crit func(int) bool, alive []bool, ub []float64) (*subSolution, error) {
+	solveSub := func(worker, q int, crit func(int) bool, alive []bool, ub []float64, lpOpts lp.Options) (*subSolution, error) {
 		var capUse []float64
 		if opt.ScenFixedUse != nil {
 			capUse = opt.ScenFixedUse[q]
@@ -218,12 +349,46 @@ func Offline(inst *te.Instance, opt Options) (*OfflineResult, error) {
 				spByQ[q] = sq
 			}
 			spByQMu.Unlock()
-			return sq.solve(q, crit, alive, ub, capUse)
+			return sq.solveWith(ctx, lpOpts, q, crit, alive, ub, capUse)
 		}
 		if sps[worker] == nil {
 			sps[worker] = newSubproblem(inst, opt.LP)
 		}
-		return sps[worker].solve(q, crit, alive, ub, capUse)
+		return sps[worker].solveWith(ctx, lpOpts, q, crit, alive, ub, capUse)
+	}
+	// solveSubAttempts wraps one scenario solve in the retry policy: the
+	// fault hook (if any) and the real solve run per attempt; a retryable
+	// failure (singular basis, iteration limit) earns a re-solve under
+	// hardened settings; anything else — and exhausted retries — fails the
+	// item. firstErr preserves the failure that triggered a successful
+	// retry so the report can say why. All decisions depend only on the
+	// scenario and the attempt number, never on the worker id, so faulted
+	// runs stay deterministic across worker counts.
+	solveSubAttempts := func(worker, q int, crit func(int) bool, alive []bool, ub []float64) (*subSolution, int, error, error) {
+		var firstErr error
+		for attempt := 0; ; attempt++ {
+			var sol *subSolution
+			var err error
+			if opt.FaultHook != nil {
+				err = opt.FaultHook(q, attempt)
+			}
+			if err == nil {
+				lpOpts := opt.LP
+				if attempt > 0 {
+					lpOpts = hardenLP(lpOpts)
+				}
+				sol, err = solveSub(worker, q, crit, alive, ub, lpOpts)
+			}
+			if err == nil {
+				return sol, attempt + 1, firstErr, nil
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			if isCtxErr(err) || !retryableErr(err) || attempt >= opt.Retries {
+				return nil, attempt + 1, firstErr, err
+			}
+		}
 	}
 	aliveMask := make([][]bool, nq)
 	aliveCap := make([][]float64, nq) // m_eq ∈ {0,1} per edge, for cut eval
@@ -279,24 +444,61 @@ func Offline(inst *te.Instance, opt Options) (*OfflineResult, error) {
 			pending = append(pending, q)
 		}
 		sols := make([]*subSolution, len(pending))
-		if err := par.ForEachWorker(opt.Workers, len(pending), func(worker, j int) error {
+		attempts := make([]int, len(pending))
+		retriedFrom := make([]error, len(pending))
+		itemErrs := par.Collect(ctx, opt.Workers, len(pending), func(worker, j int) error {
 			q := pending[j]
 			var ub []float64
 			if lossUB != nil {
 				ub = lossUB[q]
 			}
-			sol, err := solveSub(worker, q, func(f int) bool { return z.Get(f, q) }, aliveMask[q], ub)
+			sol, att, first, err := solveSubAttempts(worker, q, func(f int) bool { return z.Get(f, q) }, aliveMask[q], ub)
+			attempts[j] = att
 			if err != nil {
 				return err
 			}
 			sols[j] = sol
+			retriedFrom[j] = first
 			return nil
-		}); err != nil {
-			return nil, err
+		})
+		// Classify failures in ascending scenario order (deterministic for
+		// any worker count): cancellation aborts, everything else degrades
+		// — the scenario keeps its previous cached solution (or, having
+		// none, contributes the conservative loss of 1 below) and, since
+		// its cached column is not refreshed, is re-attempted next
+		// iteration.
+		for j, q := range pending {
+			err := itemErrs[j]
+			if err == nil {
+				if retriedFrom[j] != nil {
+					report.Retried = append(report.Retried, ScenarioFault{
+						Scenario: q, Iteration: iter, Attempts: attempts[j], Err: retriedFrom[j].Error(),
+					})
+				}
+				continue
+			}
+			if isCtxErr(err) {
+				return nil, fmt.Errorf("flexile: offline solve canceled: %w", err)
+			}
+			if opt.FailFast {
+				return nil, err
+			}
+			// A recovered panic carries attempt count 0 in attempts[j] only
+			// if it fired before the store; report at least one attempt.
+			att := attempts[j]
+			if att == 0 {
+				att = 1
+			}
+			report.Skipped = append(report.Skipped, ScenarioFault{
+				Scenario: q, Iteration: iter, Attempts: att, Err: err.Error(),
+			})
 		}
 		for j, q := range pending {
-			c := &caches[q]
 			sol := sols[j]
+			if sol == nil {
+				continue // skipped this iteration
+			}
+			c := &caches[q]
 			res.SubproblemSolves++
 			c.sol = sol
 			c.col = z.CloneScenario(q)
@@ -348,10 +550,19 @@ func Offline(inst *te.Instance, opt Options) (*OfflineResult, error) {
 		if penalty <= 1e-9 || iter == opt.MaxIterations-1 {
 			break
 		}
-		// Master step: propose new critical scenarios.
-		nz, err := solveMaster(inst, connected, cuts, z, aliveCap, opt, shareCuts)
+		// Master step: propose new critical scenarios. A master failure is
+		// not fatal in degraded mode: the decomposition ends early and the
+		// best incumbent found so far is returned.
+		nz, err := solveMaster(ctx, inst, connected, cuts, z, aliveCap, opt, shareCuts)
 		if err != nil {
-			return nil, err
+			if isCtxErr(err) {
+				return nil, fmt.Errorf("flexile: offline solve canceled: %w", err)
+			}
+			if opt.FailFast {
+				return nil, err
+			}
+			report.MasterFailures = append(report.MasterFailures, fmt.Sprintf("iteration %d: %v", iter, err))
+			break
 		}
 		if nz.Equal(z) {
 			break // converged: master repeats the proposal
@@ -364,6 +575,7 @@ func Offline(inst *te.Instance, opt Options) (*OfflineResult, error) {
 	res.SubLosses = bestLosses
 	res.PercLoss = bestPercLoss
 	res.Elapsed = time.Since(start)
+	res.Report = report
 	return res, nil
 }
 
@@ -378,7 +590,7 @@ func cloneMatrix(m [][]float64) [][]float64 {
 // solveMaster builds and solves the master MIP (M): minimize Penalty
 // subject to per-flow coverage (3), the pooled Benders cuts (19), and the
 // hamming-distance stabilization (23), with z binary.
-func solveMaster(inst *te.Instance, connected [][]bool, cuts []*cut, zPrev *CriticalSet, aliveCap [][]float64, opt Options, shareCuts bool) (*CriticalSet, error) {
+func solveMaster(ctx context.Context, inst *te.Instance, connected [][]bool, cuts []*cut, zPrev *CriticalSet, aliveCap [][]float64, opt Options, shareCuts bool) (*CriticalSet, error) {
 	nf, nq := inst.NumFlows(), len(inst.Scenarios)
 	p := lp.NewProblem()
 	pen := p.AddCol("penalty", 0, lp.Inf, 1)
@@ -554,7 +766,7 @@ func solveMaster(inst *te.Instance, connected [][]bool, cuts []*cut, zPrev *Crit
 	}
 
 	solveMIP := func() (*mip.Solution, error) {
-		return mip.Solve(&mip.Problem{LP: p, Binary: binaries}, mip.Options{
+		return mip.SolveCtx(ctx, &mip.Problem{LP: p, Binary: binaries}, mip.Options{
 			MaxNodes:   opt.MasterNodes,
 			RelGap:     1e-4,
 			LP:         opt.LP,

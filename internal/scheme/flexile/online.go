@@ -21,10 +21,17 @@ func Online(inst *te.Instance, off *OfflineResult, q int, opt Options) (*te.MaxM
 	}
 	opt = opt.withDefaults(inst.NumFlows() * len(inst.Scenarios))
 	minFrac := make([]float64, inst.NumFlows())
+	// A degraded offline result may lack pieces — no result at all, no
+	// critical set, or no ScenLossOpt vector. The online phase must still
+	// produce a feasible allocation: missing data means no floor is
+	// promised for the affected flows, never a panic.
+	if off == nil {
+		off = &OfflineResult{}
+	}
 	for k := range inst.Classes {
 		for i := range inst.Pairs {
 			f := inst.FlowID(k, i)
-			if !off.Critical.Get(f, q) {
+			if off.Critical == nil || !off.Critical.Get(f, q) {
 				continue
 			}
 			// The offline subproblem pre-decided this flow's bandwidth in
@@ -34,7 +41,7 @@ func Online(inst *te.Instance, off *OfflineResult, q int, opt Options) (*te.MaxM
 			// percentile (the percentile skips the worst critical
 			// scenarios, the per-scenario allocation must not).
 			promised := 1.0
-			if off.SubLosses != nil {
+			if off.SubLosses != nil && f < len(off.SubLosses) && q < len(off.SubLosses[f]) {
 				promised = 1 - off.SubLosses[f][q]
 			}
 			if promised < 0 {
@@ -44,8 +51,9 @@ func Online(inst *te.Instance, off *OfflineResult, q int, opt Options) (*te.MaxM
 		}
 	}
 	// γ generalization (§4.4): every connected flow — critical or not —
-	// is kept within γ of the scenario's optimal ScenLoss.
-	if opt.Gamma >= 0 {
+	// is kept within γ of the scenario's optimal ScenLoss. A missing
+	// ScenLossOpt entry (degraded offline result) promises no floor.
+	if opt.Gamma >= 0 && q < len(off.ScenLossOpt) {
 		floor := 1 - opt.Gamma - off.ScenLossOpt[q]
 		if floor > 0 {
 			scen := inst.Scenarios[q]

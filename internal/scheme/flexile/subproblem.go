@@ -1,6 +1,7 @@
 package flexile
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -162,7 +163,14 @@ func newSubproblemD(inst *te.Instance, demands []float64, lpOpts lp.Options) *su
 // (the §4.4 γ generalization); capUse, when non-nil, is per-edge bandwidth
 // already claimed by higher-priority classes (sequential design, §4.4).
 // Returns the solution and a freshly extracted cut.
-func (sp *subproblem) solve(q int, critical func(f int) bool, alive []bool, lossUB, capUse []float64) (*subSolution, error) {
+func (sp *subproblem) solve(ctx context.Context, q int, critical func(f int) bool, alive []bool, lossUB, capUse []float64) (*subSolution, error) {
+	return sp.solveWith(ctx, sp.lpOpts, q, critical, alive, lossUB, capUse)
+}
+
+// solveWith is solve with explicit LP options — the retry policy's hook
+// for re-solving a failed scenario under hardened settings (Bland's rule,
+// a larger pivot budget) without rebuilding the LP.
+func (sp *subproblem) solveWith(ctx context.Context, lpOpts lp.Options, q int, critical func(f int) bool, alive []bool, lossUB, capUse []float64) (*subSolution, error) {
 	inst := sp.inst
 	g := inst.Topo.G
 	for f, row := range sp.alphaRow {
@@ -198,9 +206,12 @@ func (sp *subproblem) solve(q int, critical func(f int) bool, alive []bool, loss
 		}
 		sp.p.SetRowBounds(sp.capRow[e], -lp.Inf, cap)
 	}
-	sol, err := sp.p.SolveOpts(sp.lpOpts)
+	sol, err := sp.p.SolveCtx(ctx, lpOpts)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("flexile: subproblem scenario %d: %w", q, err)
+	}
+	if sol.Status == lp.IterLimit {
+		return nil, fmt.Errorf("flexile: subproblem scenario %d: %w", q, lp.ErrIterLimit)
 	}
 	if sol.Status != lp.Optimal {
 		return nil, fmt.Errorf("flexile: subproblem scenario %d: %v", q, sol.Status)

@@ -1,6 +1,7 @@
 package te
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -137,6 +138,14 @@ func MaxConcurrentScaleD(inst *Instance, scen failure.Scenario, classes []int, d
 // MaxConcurrentScaleOpts additionally subtracts fixedUse (per-edge
 // bandwidth claimed outside this problem) from link capacities.
 func MaxConcurrentScaleOpts(inst *Instance, scen failure.Scenario, classes []int, demands, fixedUse []float64) (float64, *Alloc, *lp.Solution, error) {
+	return MaxConcurrentScaleCtx(context.Background(), inst, scen, classes, demands, fixedUse)
+}
+
+// MaxConcurrentScaleCtx is MaxConcurrentScaleOpts under a context:
+// cancellation or an expired deadline aborts the LP solve with the context
+// error wrapped. An iteration-limited solve reports lp.ErrIterLimit so
+// degraded-mode callers can classify the failure with errors.Is.
+func MaxConcurrentScaleCtx(ctx context.Context, inst *Instance, scen failure.Scenario, classes []int, demands, fixedUse []float64) (float64, *Alloc, *lp.Solution, error) {
 	a := NewAlloc(inst, scen, classes, fixedUse)
 	z := a.LP.AddCol("z", 0, lp.Inf, -1) // maximize z
 	include := make([]bool, len(inst.Classes))
@@ -174,9 +183,12 @@ func MaxConcurrentScaleOpts(inst *Instance, scen failure.Scenario, classes []int
 	if !any {
 		return math.Inf(1), a, nil, nil
 	}
-	sol, err := a.LP.Solve()
+	sol, err := a.LP.SolveCtx(ctx, lp.Options{})
 	if err != nil {
 		return 0, nil, nil, err
+	}
+	if sol.Status == lp.IterLimit {
+		return 0, nil, nil, fmt.Errorf("te: max concurrent flow: %w", lp.ErrIterLimit)
 	}
 	if sol.Status != lp.Optimal {
 		return 0, nil, nil, fmt.Errorf("te: max concurrent flow: %v", sol.Status)
