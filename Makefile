@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race faults bench bench-json clean
+.PHONY: ci vet build test race faults obs golden cover bench bench-json clean
 
-ci: vet build race faults
+ci: vet build race faults obs cover
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +27,35 @@ race:
 # result, race-clean.
 faults:
 	$(GO) test -race -timeout 15m -run 'Fault|Degraded|Cancel' ./...
+
+# The observability + correctness battery (DESIGN.md §9): obs collector
+# unit tests, the LP property battery (strong duality, complementary
+# slackness, Bland agreement on 200 random LPs), the MIP consistency
+# suite (relaxation bounds, brute-force enumeration match), the flexile
+# ScenLossOpt cross-check, and the metrics determinism / fault-accounting
+# suites. Race-clean by contract.
+obs:
+	$(GO) test -race -timeout 15m ./internal/obs/
+	$(GO) test -race -timeout 15m -run 'Property|Incumbent|BruteForce|WarmStart|ScenLossOptMatches|Metrics' \
+		./internal/lp/ ./internal/mip/ ./internal/scheme/flexile/
+
+# Regenerate the golden files pinning the rendered experiment output
+# (internal/experiments/testdata/). Run after an intentional change to
+# the solver's numbers or the render format, and commit the diff.
+golden:
+	$(GO) test ./internal/experiments -run 'TestGolden' -update -count=1
+
+# Coverage floor: the repo-wide `go test -coverprofile` total must not
+# drop below the checked-in floor (.cover_floor, a bare percentage).
+# Raise the floor deliberately when coverage rises; never lower it to
+# make a PR pass.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	floor=$$(cat .cover_floor); \
+	awk -v t=$$total -v f=$$floor 'BEGIN { \
+		if (t+0 < f+0) { printf "FAIL: total coverage %.1f%% is below the floor %.1f%%\n", t, f; exit 1 } \
+		printf "coverage %.1f%% (floor %.1f%%)\n", t, f }'
 
 # Record the per-PR performance trajectory: run every benchmark once and
 # convert the text output into a JSON record (BENCH_<tag>.json).

@@ -12,6 +12,7 @@ import (
 
 	"flexile"
 	"flexile/internal/experiments"
+	"flexile/internal/obs"
 )
 
 func tinyCfg() experiments.Config {
@@ -219,6 +220,29 @@ func BenchmarkOfflineParallel(b *testing.B) {
 		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup-x")
 	}
 	b.ReportMetric(float64(runtime.NumCPU()), "workers")
+}
+
+// BenchmarkOfflineParallelMetrics is BenchmarkOfflineParallel's timed loop
+// with the observability collector installed process-wide, so comparing the
+// two benchmarks measures the metrics overhead directly. Budget: ≤2%
+// (DESIGN.md §9) — counters flush once per solve, never per pivot.
+func BenchmarkOfflineParallelMetrics(b *testing.B) {
+	inst, err := tinyCfg().SingleClass("IBM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs.SetGlobal(obs.New())
+	defer obs.SetGlobal(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flexile.Design(inst, flexile.DesignOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	m := obs.Global().Snapshot()
+	b.ReportMetric(float64(m.LP.Pivots)/float64(b.N), "pivots/op")
+	b.ReportMetric(float64(m.Decomp.CutsGenerated)/float64(b.N), "cuts/op")
 }
 
 // BenchmarkOnlineAllocation isolates the online phase: one failure

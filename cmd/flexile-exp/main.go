@@ -28,6 +28,7 @@ import (
 
 	"flexile/internal/benchjson"
 	"flexile/internal/experiments"
+	"flexile/internal/obs"
 )
 
 func main() {
@@ -40,7 +41,11 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock limit per topology sweep, e.g. 10m (0 = unlimited)")
 	benchIn := flag.String("benchjson", "", "parse `go test -bench` output from this file (- = stdin) and emit JSON instead of running figures")
 	outPath := flag.String("o", "", "output path for -benchjson (default stdout)")
+	metrics := flag.Bool("metrics", false, "emit the aggregated solver metrics as JSON on stdout after the figures")
+	tracePath := flag.String("trace", "", "write a chrome://tracing timeline of the solves to this file")
 	flag.Parse()
+
+	collector, tracer := installObs(*metrics, *tracePath)
 
 	if *benchIn != "" {
 		if err := emitBenchJSON(*benchIn, *outPath); err != nil {
@@ -104,6 +109,45 @@ func main() {
 	if ran == 0 {
 		fatal(fmt.Errorf("no figure matched %q", *fig))
 	}
+	if err := emitObs(collector, tracer, *metrics, *tracePath); err != nil {
+		fatal(err)
+	}
+}
+
+// installObs wires the process-global metrics collector and tracer the
+// -metrics/-trace flags request; every solve below picks them up through
+// the context fallback.
+func installObs(metrics bool, tracePath string) (*obs.Collector, *obs.Tracer) {
+	if !metrics && tracePath == "" {
+		return nil, nil
+	}
+	collector := obs.New()
+	var tracer *obs.Tracer
+	if tracePath != "" {
+		tracer = obs.NewTracer()
+		collector.AttachTracer(tracer)
+	}
+	obs.SetGlobal(collector)
+	return collector, tracer
+}
+
+// emitObs writes the requested metrics JSON (stdout) and trace file.
+func emitObs(collector *obs.Collector, tracer *obs.Tracer, metrics bool, tracePath string) error {
+	if metrics {
+		fmt.Printf("%s\n", collector.Snapshot().JSON())
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tracer.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace to %s\n", tracePath)
+	}
+	return nil
 }
 
 // emitBenchJSON parses `go test -bench` text output and writes the

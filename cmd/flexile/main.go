@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"flexile"
+	"flexile/internal/obs"
 )
 
 func main() {
@@ -35,7 +36,22 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock limit for the offline solve, e.g. 30s, 5m (0 = unlimited)")
 	compare := flag.Bool("compare", false, "also run the baseline schemes")
 	sequential := flag.Bool("sequential", false, "use the §4.4 explicit-priority sequential design")
+	metrics := flag.Bool("metrics", false, "emit the aggregated solver metrics as JSON on stdout at the end")
+	tracePath := flag.String("trace", "", "write a chrome://tracing timeline of the solves to this file")
 	flag.Parse()
+
+	// Wire the process-global collector/tracer; every solve in the pipeline
+	// picks them up through the context fallback.
+	var collector *obs.Collector
+	var tracer *obs.Tracer
+	if *metrics || *tracePath != "" {
+		collector = obs.New()
+		if *tracePath != "" {
+			tracer = obs.NewTracer()
+			collector.AttachTracer(tracer)
+		}
+		obs.SetGlobal(collector)
+	}
 
 	var tp *flexile.Topology
 	var err error
@@ -135,6 +151,24 @@ func main() {
 			}
 			fmt.Printf("  (%v)\n", time.Since(st).Round(time.Millisecond))
 		}
+	}
+
+	if *metrics {
+		fmt.Printf("%s\n", collector.Snapshot().JSON())
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace to %s\n", *tracePath)
 	}
 }
 

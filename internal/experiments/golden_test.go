@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	make golden            # or: go test ./internal/experiments -run Golden -update
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// checkGolden compares got against testdata/<name> byte for byte and prints
+// the first diverging line on mismatch. With -update it rewrites the file.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	wantBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (generate with `make golden`): %v", path, err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("%s: first divergence at line %d:\n got: %q\nwant: %q\n(full output below)\n%s",
+				path, i+1, g, w, got)
+		}
+	}
+	t.Fatalf("%s: outputs differ only in length: got %d bytes, want %d", path, len(got), len(want))
+}
+
+// TestGoldenTable2 pins the canonical rendering of the paper's Table 2
+// (static content: any drift is an intentional edit, refresh with -update).
+func TestGoldenTable2(t *testing.T) {
+	checkGolden(t, "table2.golden", Table2().Render())
+}
+
+// TestGoldenFig9Tiny pins the full rendered Fig. 9 emulation comparison at
+// the Tiny scale with a fixed seed and one run. The solve engine promises
+// worker-count-independent results, so this output is stable on any
+// machine; a diff means the solver's numbers actually moved.
+func TestGoldenFig9Tiny(t *testing.T) {
+	cfg := Config{Scale: Tiny, Seed: 1, Workers: 4}
+	res, err := Fig9(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "PCC") {
+		t.Fatalf("Fig9 render missing the model-vs-emulation summary:\n%s", out)
+	}
+	checkGolden(t, "fig9_tiny.golden", out)
+}

@@ -24,6 +24,7 @@ import (
 
 	"flexile/internal/eval"
 	"flexile/internal/failure"
+	"flexile/internal/obs"
 	"flexile/internal/par"
 	"flexile/internal/scheme"
 	"flexile/internal/te"
@@ -156,7 +157,8 @@ func (c Config) sweep(names []string, fn func(i int, name string) error) ([]Topo
 		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
 		defer cancel()
 	}
-	errs := par.Collect(ctx, c.Workers, len(names), func(_, i int) error {
+	errs := par.Collect(ctx, c.Workers, len(names), func(worker, i int) error {
+		defer obs.From(ctx).Span("topology", int64(worker)+1, "name", names[i])()
 		return fn(i, names[i])
 	})
 	var fails []TopoFailure

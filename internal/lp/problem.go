@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"flexile/internal/obs"
 )
 
 // ErrSingularBasis reports that numerical degradation made the basis
@@ -243,8 +245,16 @@ func (p *Problem) SolveOpts(opts Options) (*Solution, error) {
 // sooner) aborts the simplex within a few pivots and returns the context
 // error wrapped. A nil ctx is treated as context.Background().
 func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Solution, error) {
+	col := obs.From(ctx)
+	var start time.Time
+	if col != nil {
+		start = time.Now()
+	}
 	s, err := newSimplex(p, opts)
 	if err != nil {
+		if col != nil {
+			col.AddLP(obs.LPMetrics{Solves: 1, Errors: 1})
+		}
 		return nil, err
 	}
 	if ctx == nil {
@@ -257,5 +267,38 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Solution, error)
 	if d, ok := ctx.Deadline(); ok && (s.deadline.IsZero() || d.Before(s.deadline)) {
 		s.deadline = d
 	}
-	return s.solve()
+	sol, err := s.solve()
+	if col != nil {
+		col.AddLP(s.metrics(sol, err, time.Since(start)))
+	}
+	return sol, err
+}
+
+// metrics packages the solve's counters for a one-shot collector flush.
+func (s *simplex) metrics(sol *Solution, err error, elapsed time.Duration) obs.LPMetrics {
+	d := obs.LPMetrics{
+		Solves:           1,
+		Pivots:           int64(s.phase1Pivots + s.phase2Pivots),
+		Phase1Pivots:     int64(s.phase1Pivots),
+		Phase2Pivots:     int64(s.phase2Pivots),
+		BoundFlips:       int64(s.boundFlips),
+		DegeneratePivots: int64(s.degenPivots),
+		Refactorizations: int64(s.refactors),
+		BlandActivations: int64(s.blandActs),
+		SingularRestarts: int64(s.singularRestarts),
+		SolveNanos:       elapsed.Nanoseconds(),
+	}
+	switch {
+	case err != nil:
+		d.Errors = 1
+	case sol.Status == Optimal:
+		d.Optimal = 1
+	case sol.Status == Infeasible:
+		d.Infeasible = 1
+	case sol.Status == Unbounded:
+		d.Unbounded = 1
+	case sol.Status == IterLimit:
+		d.IterLimit = 1
+	}
+	return d
 }

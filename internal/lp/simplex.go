@@ -55,6 +55,17 @@ type simplex struct {
 	pivots        int
 	sinceRefactor int
 
+	// Per-solve observability counters. Kept as plain ints in this
+	// single-goroutine state and flushed once per solve into the obs
+	// collector (see SolveCtx) so the hot loop never touches an atomic.
+	phase1Pivots     int
+	phase2Pivots     int
+	boundFlips       int
+	degenPivots      int
+	blandActs        int
+	refactors        int
+	singularRestarts int
+
 	// Cancellation: checked every checkCancelEvery iterations inside run.
 	ctx      context.Context
 	deadline time.Time // zero = none
@@ -241,11 +252,15 @@ func (s *simplex) solve() (*Solution, error) {
 		}
 	}
 
+	if s.opts.Bland {
+		s.blandActs++
+	}
 	iters := 0
 	sol, err := s.optimize(&iters)
 	if errors.Is(err, ErrSingularBasis) {
 		// Numerical degradation corrupted the basis; restart once from the
 		// pristine logical basis.
+		s.singularRestarts++
 		s.resetToLogicalBasis()
 		sol, err = s.optimize(&iters)
 	}
@@ -489,8 +504,9 @@ func (s *simplex) run(phase int, iters *int) (Status, error) {
 				stall++
 			}
 		}
-		if stall > 2000 {
+		if stall > 2000 && !bland {
 			bland = true
+			s.blandActs++
 		}
 
 		s.phaseCost(phase)
@@ -538,8 +554,14 @@ func (s *simplex) run(phase int, iters *int) (Status, error) {
 			return Unbounded, nil
 		}
 		*iters++
+		if phase == 1 {
+			s.phase1Pivots++
+		} else {
+			s.phase2Pivots++
+		}
 		if r < 0 {
 			// Bound flip of the entering variable.
+			s.boundFlips++
 			s.applyStep(t, dir)
 			if s.status[q] == nonbasicLower {
 				s.status[q] = nonbasicUpper
@@ -549,6 +571,9 @@ func (s *simplex) run(phase int, iters *int) (Status, error) {
 				s.xval[q] = s.lb[q]
 			}
 			continue
+		}
+		if t <= tol {
+			s.degenPivots++
 		}
 		s.pivot(q, r, t, dir)
 	}
@@ -880,6 +905,7 @@ func (s *simplex) refactor() error {
 		}
 	}
 	copy(s.binv, inv)
+	s.refactors++
 	s.sinceRefactor = 0
 	s.recomputeXB()
 	return nil

@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"flexile/internal/lp"
+	"flexile/internal/obs"
 )
 
 // Problem is a binary MIP: the LP relaxation plus a set of columns that
@@ -143,6 +145,18 @@ func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Solution, error) 
 		ctx = context.Background()
 	}
 	opts = opts.withDefaults()
+	// mm accumulates this solve's counters (the node loop and the incumbent
+	// closures increment it); one flush on exit covers every return path.
+	// Inner LP relaxation solves report themselves through the same ctx.
+	var mm obs.MIPMetrics
+	if col := obs.From(ctx); col != nil {
+		start := time.Now()
+		defer func() {
+			mm.Solves = 1
+			mm.SolveNanos = time.Since(start).Nanoseconds()
+			col.AddMIP(mm)
+		}()
+	}
 	lpp := p.LP
 	nb := len(p.Binary)
 
@@ -190,6 +204,7 @@ func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Solution, error) 
 		if ls.Objective < sol.Objective {
 			sol.Objective = ls.Objective
 			best = append([]float64(nil), ls.X...)
+			mm.IncumbentUpdates++
 		}
 	}
 
@@ -211,9 +226,11 @@ func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Solution, error) 
 		if nd.bound >= sol.Objective-opts.RelGap*math.Abs(sol.Objective)-1e-12 {
 			// The global bound is the smallest remaining node bound.
 			sol.Bound = math.Max(sol.Bound, nd.bound)
+			mm.PrunedNodes++
 			break
 		}
 		sol.Nodes++
+		mm.Nodes++
 		applyFixes(nd.fixes)
 		lo := opts.LP
 		lo.StartBasis = nd.basis
@@ -238,6 +255,7 @@ func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Solution, error) 
 			nodeBound = nd.bound
 		}
 		if nodeBound >= sol.Objective-opts.RelGap*math.Abs(sol.Objective)-1e-12 {
+			mm.PrunedNodes++
 			continue
 		}
 
@@ -255,6 +273,7 @@ func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Solution, error) 
 			if ls.Objective < sol.Objective {
 				sol.Objective = ls.Objective
 				best = append([]float64(nil), ls.X...)
+				mm.IncumbentUpdates++
 			}
 			continue
 		}
@@ -263,6 +282,7 @@ func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Solution, error) 
 			for k, j := range p.Binary {
 				frac[k] = ls.X[j]
 			}
+			mm.HeuristicCalls++
 			if sug := opts.Heuristic(frac); sug != nil {
 				tryIncumbent(sug, ls.Basis())
 			}

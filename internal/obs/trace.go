@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one complete ("ph":"X") event in the Chrome tracing JSON
+// format (chrome://tracing, perfetto). Timestamps and durations are in
+// microseconds per the format's convention.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the top-level chrome://tracing JSON object.
+type traceFile struct {
+	TraceEvents []TraceEvent `json:"traceEvents"`
+}
+
+// Tracer records timeline spans (one per Benders iteration, scenario solve,
+// master solve, …). Safe for concurrent use; a nil *Tracer is a no-op.
+type Tracer struct {
+	start time.Time
+
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// NewTracer returns a tracer whose timeline starts now.
+func NewTracer() *Tracer { return &Tracer{start: time.Now()} }
+
+// AttachTracer fastens t to the collector: Span calls on the collector (and
+// on its descendants, via the parent chain) record into t.
+func (c *Collector) AttachTracer(t *Tracer) {
+	if c != nil {
+		c.tracer = t
+	}
+}
+
+// tracerOf resolves the nearest tracer up the parent chain.
+func (c *Collector) tracerOf() *Tracer {
+	for ; c != nil; c = c.parent {
+		if c.tracer != nil {
+			return c.tracer
+		}
+	}
+	return nil
+}
+
+// Span opens a timeline span named name on virtual track tid; the returned
+// func closes it. kv is an alternating key, value list attached as the
+// event's args. When no tracer is attached anywhere up the chain, the cost
+// is one nil check and the returned closure is a shared no-op.
+func (c *Collector) Span(name string, tid int64, kv ...any) func() {
+	tr := c.tracerOf()
+	if tr == nil {
+		return nopSpan
+	}
+	return tr.span(name, tid, kv)
+}
+
+var nopSpan = func() {}
+
+func (t *Tracer) span(name string, tid int64, kv []any) func() {
+	var args map[string]any
+	if len(kv) >= 2 {
+		args = make(map[string]any, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			if k, ok := kv[i].(string); ok {
+				args[k] = kv[i+1]
+			}
+		}
+	}
+	begin := time.Now()
+	return func() {
+		end := time.Now()
+		ev := TraceEvent{
+			Name: name,
+			Cat:  "solve",
+			Ph:   "X",
+			TS:   begin.Sub(t.start).Microseconds(),
+			Dur:  end.Sub(begin).Microseconds(),
+			PID:  1,
+			TID:  tid,
+			Args: args,
+		}
+		t.mu.Lock()
+		t.events = append(t.events, ev)
+		t.mu.Unlock()
+	}
+}
+
+// Events returns a copy of the recorded events.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// WriteJSON serializes the timeline as a chrome://tracing JSON object.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: t.Events()})
+}

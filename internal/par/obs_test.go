@@ -1,0 +1,104 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"flexile/internal/obs"
+)
+
+// TestCollectPoolAccounting: with a collector on the context, Collect
+// records one launch at the clamped width and one item per executed fn,
+// attributed to the worker that ran it.
+func TestCollectPoolAccounting(t *testing.T) {
+	col := obs.New()
+	ctx := obs.With(context.Background(), col)
+	const n = 12
+	errs := Collect(ctx, 3, n, func(worker, i int) error { return nil })
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+	}
+	m := col.Snapshot().Pool
+	if m.Launches != 1 || m.Items != n {
+		t.Fatalf("pool accounting: %+v", m)
+	}
+	if m.MaxWorkers != 3 {
+		t.Fatalf("MaxWorkers = %d, want 3", m.MaxWorkers)
+	}
+	var sum int64
+	for _, c := range m.WorkerItems {
+		sum += c
+	}
+	if sum != n {
+		t.Fatalf("WorkerItems %v sums to %d, want %d", m.WorkerItems, sum, n)
+	}
+}
+
+// TestCollectPoolWidthClamped: a pool wider than the item count is clamped
+// before the launch is recorded.
+func TestCollectPoolWidthClamped(t *testing.T) {
+	col := obs.New()
+	ctx := obs.With(context.Background(), col)
+	Collect(ctx, 16, 2, func(worker, i int) error { return nil })
+	if m := col.Snapshot().Pool; m.MaxWorkers != 2 {
+		t.Fatalf("MaxWorkers = %d, want the clamp to 2", m.MaxWorkers)
+	}
+}
+
+// TestCollectPanickedItemNotCounted: a panicking item never completes its
+// PoolItem record — by design, so Items stays a deterministic function of
+// the fault plan — while its error surfaces as a PanicError.
+func TestCollectPanickedItemNotCounted(t *testing.T) {
+	col := obs.New()
+	ctx := obs.With(context.Background(), col)
+	const n = 4
+	errs := Collect(ctx, 2, n, func(worker, i int) error {
+		if i == 1 {
+			panic("boom")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(errs[1], &pe) {
+		t.Fatalf("item 1 error %v is not a PanicError", errs[1])
+	}
+	if !strings.Contains(pe.Error(), "item 1") || !strings.Contains(pe.Error(), "boom") {
+		t.Fatalf("PanicError message %q", pe.Error())
+	}
+	if m := col.Snapshot().Pool; m.Items != n-1 {
+		t.Fatalf("Items = %d, want %d (panicked item uncounted)", m.Items, n-1)
+	}
+}
+
+// TestCollectNilContextAndEmpty: a nil ctx and n ≤ 0 are both valid.
+func TestCollectNilContextAndEmpty(t *testing.T) {
+	errs := Collect(nil, 2, 3, func(worker, i int) error { return nil }) //nolint:staticcheck // nil ctx is part of the contract
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+	}
+	if errs := Collect(context.Background(), 2, 0, func(worker, i int) error { return nil }); len(errs) != 0 {
+		t.Fatalf("n=0 returned %d errors", len(errs))
+	}
+}
+
+// TestCollectSequentialPreCanceled: the workers=1 fast path reports the
+// context error for every unstarted item.
+func TestCollectSequentialPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	errs := Collect(ctx, 1, 3, func(worker, i int) error {
+		t.Fatal("item ran under a canceled context")
+		return nil
+	})
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("item %d: %v, want context.Canceled", i, err)
+		}
+	}
+}

@@ -28,6 +28,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"flexile/internal/obs"
 )
 
 // PanicError is a panic recovered inside a pool worker, with enough
@@ -174,6 +177,20 @@ func Collect(ctx context.Context, workers, n int, fn func(worker, i int) error) 
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
+	}
+	// Pool accounting: one launch record up front, one item record per
+	// executed fn (worker id + busy time). The obs collector is looked up
+	// once; the per-item cost when metrics are off is a single nil check.
+	col := obs.From(ctx)
+	if col != nil {
+		col.PoolLaunch(workers)
+		inner := fn
+		fn = func(worker, i int) error {
+			start := time.Now()
+			err := inner(worker, i)
+			col.PoolItem(worker, time.Since(start).Nanoseconds())
+			return err
+		}
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {

@@ -203,7 +203,14 @@ func TestOfflineFaultDeterministicAcrossWorkers(t *testing.T) {
 			t.Fatalf("workers=%d: trajectory differs: iters %d vs %d, solves %d vs %d",
 				workers, got.Iterations, base.Iterations, got.SubproblemSolves, base.SubproblemSolves)
 		}
-		if !reflect.DeepEqual(got.Report, base.Report) {
+		// Wall-clock timers and the per-worker item distribution legitimately
+		// vary with the worker count; every other field — including all the
+		// solver counters — must match bit for bit.
+		normReport := func(r SolveReport) SolveReport {
+			r.Metrics = r.Metrics.Canonical()
+			return r
+		}
+		if !reflect.DeepEqual(normReport(got.Report), normReport(base.Report)) {
 			t.Fatalf("workers=%d: SolveReport differs:\n%+v\nsequential:\n%+v", workers, got.Report, base.Report)
 		}
 		if !reflect.DeepEqual(inj.Fired(), baseInj.Fired()) {

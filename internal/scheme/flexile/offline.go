@@ -4,14 +4,18 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"flexile/internal/eval"
 	"flexile/internal/lp"
 	"flexile/internal/mip"
+	"flexile/internal/obs"
 	"flexile/internal/par"
 	"flexile/internal/te"
 )
@@ -160,6 +164,10 @@ type SolveReport struct {
 	// MasterFailures lists master-step errors ("iteration N: ..."); a
 	// master failure ends the decomposition with the best incumbent.
 	MasterFailures []string
+	// Metrics is the solve's observability snapshot: every LP/MIP/pool/
+	// decomposition counter accumulated during this offline solve. Its
+	// Canonical() projection is bit-identical across worker counts.
+	Metrics obs.SolveMetrics
 }
 
 // Degraded reports whether any fault was recorded.
@@ -229,6 +237,11 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
 		defer cancel()
 	}
+	// Every solve below this point reports into a per-solve child collector
+	// (its snapshot becomes SolveReport.Metrics); adds roll up into whatever
+	// collector the caller installed (the CLIs' process-global one).
+	col := obs.NewChild(obs.From(ctx))
+	ctx = obs.With(ctx, col)
 
 	// Connectivity of every flow in every scenario: z_fq is fixed to 0 for
 	// disconnected flows (§4.2 warm start) and those bits never become
@@ -283,7 +296,9 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 	// (which in γ mode relaxes the scenario's loss cap to no constraint)
 	// instead of aborting the whole solve.
 	scenLossOpt := make([]float64, nq)
-	for q, err := range par.Collect(ctx, opt.Workers, nq, func(_, q int) error {
+	endPre := col.Span("scenloss-precompute", 0, "scenarios", nq)
+	preErrs := par.Collect(ctx, opt.Workers, nq, func(worker, q int) error {
+		defer col.Span("scenloss", int64(worker)+1, "scenario", q)()
 		var capUse []float64
 		if opt.ScenFixedUse != nil {
 			capUse = opt.ScenFixedUse[q]
@@ -294,7 +309,9 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 		}
 		scenLossOpt[q] = math.Max(0, 1-math.Min(1, zScale))
 		return nil
-	}) {
+	})
+	endPre()
+	for q, err := range preErrs {
 		if err == nil {
 			continue
 		}
@@ -415,6 +432,13 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 	}
 	caches := make([]cache, nq)
 	var cuts []*cut
+	// Content-dedup of the cut pool: re-solving a scenario whose optimum did
+	// not move regenerates the exact same cut, and a duplicate row in the
+	// master is pure ballast. Keyed by content hash, verified by full
+	// equality; appends happen in ascending scenario order, so the surviving
+	// pool is identical for every worker count.
+	cutIndex := make(map[uint64]int)
+	var cutsGenerated, cutsDeduped int64
 	losses := make([][]float64, nf)
 	for f := range losses {
 		losses[f] = make([]float64, nq)
@@ -446,13 +470,22 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 		sols := make([]*subSolution, len(pending))
 		attempts := make([]int, len(pending))
 		retriedFrom := make([]error, len(pending))
+		endBatch := col.Span("iteration", 0, "iter", iter, "pending", len(pending))
 		itemErrs := par.Collect(ctx, opt.Workers, len(pending), func(worker, j int) error {
 			q := pending[j]
+			defer col.Span("scenario-solve", int64(worker)+1, "scenario", q, "iteration", iter)()
 			var ub []float64
 			if lossUB != nil {
 				ub = lossUB[q]
 			}
-			sol, att, first, err := solveSubAttempts(worker, q, func(f int) bool { return z.Get(f, q) }, aliveMask[q], ub)
+			var sol *subSolution
+			var att int
+			var first, err error
+			// Label the CPU samples of this scenario's solve so profiles
+			// attribute time to (scenario, iteration).
+			pprof.Do(ctx, pprof.Labels("solve", "scenario", "scenario", strconv.Itoa(q), "iteration", strconv.Itoa(iter)), func(context.Context) {
+				sol, att, first, err = solveSubAttempts(worker, q, func(f int) bool { return z.Get(f, q) }, aliveMask[q], ub)
+			})
 			attempts[j] = att
 			if err != nil {
 				return err
@@ -461,6 +494,7 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 			retriedFrom[j] = first
 			return nil
 		})
+		endBatch()
 		// Classify failures in ascending scenario order (deterministic for
 		// any worker count): cancellation aborts, everything else degrades
 		// — the scenario keeps its previous cached solution (or, having
@@ -502,7 +536,14 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 			res.SubproblemSolves++
 			c.sol = sol
 			c.col = z.CloneScenario(q)
-			cuts = append(cuts, sol.cut)
+			cutsGenerated++
+			key := cutKey(sol.cut)
+			if ci, ok := cutIndex[key]; ok && cutEqual(cuts[ci], sol.cut) {
+				cutsDeduped++
+			} else {
+				cutIndex[key] = len(cuts)
+				cuts = append(cuts, sol.cut)
+			}
 			// A scenario is perfect when, with every connected flow marked
 			// critical (the warm-start state), the optimum is zero.
 			if iter == 0 && sol.optval <= 1e-9 {
@@ -553,7 +594,13 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 		// Master step: propose new critical scenarios. A master failure is
 		// not fatal in degraded mode: the decomposition ends early and the
 		// best incumbent found so far is returned.
-		nz, err := solveMaster(ctx, inst, connected, cuts, z, aliveCap, opt, shareCuts)
+		var nz *CriticalSet
+		var err error
+		endMaster := col.Span("master-solve", 0, "iteration", iter, "cuts", len(cuts))
+		pprof.Do(ctx, pprof.Labels("solve", "master", "iteration", strconv.Itoa(iter)), func(context.Context) {
+			nz, err = solveMaster(ctx, inst, connected, cuts, z, aliveCap, opt, shareCuts)
+		})
+		endMaster()
 		if err != nil {
 			if isCtxErr(err) {
 				return nil, fmt.Errorf("flexile: offline solve canceled: %w", err)
@@ -575,8 +622,60 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 	res.SubLosses = bestLosses
 	res.PercLoss = bestPercLoss
 	res.Elapsed = time.Since(start)
+	col.AddDecomp(obs.DecompMetrics{
+		Solves:            1,
+		Iterations:        int64(res.Iterations),
+		ScenarioSolves:    int64(res.SubproblemSolves),
+		ScenarioRetries:   int64(len(report.Retried)),
+		ScenarioSkips:     int64(len(report.Skipped)),
+		ScenLossFallbacks: int64(len(report.ScenLossFallback)),
+		MasterFailures:    int64(len(report.MasterFailures)),
+		CutsGenerated:     cutsGenerated,
+		CutsDeduped:       cutsDeduped,
+	})
+	report.Metrics = col.Snapshot()
 	res.Report = report
 	return res, nil
+}
+
+// cutKey hashes a cut's full content (native scenario, constant, duals);
+// cutEqual confirms a hash hit before a cut is dropped as a duplicate.
+func cutKey(ct *cut) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	put(uint64(ct.nativeQ))
+	put(math.Float64bits(ct.C))
+	for _, y := range ct.yAlpha {
+		put(math.Float64bits(y))
+	}
+	for _, c := range ct.capCoef {
+		put(math.Float64bits(c))
+	}
+	return h.Sum64()
+}
+
+func cutEqual(a, b *cut) bool {
+	if a.nativeQ != b.nativeQ || a.C != b.C ||
+		len(a.yAlpha) != len(b.yAlpha) || len(a.capCoef) != len(b.capCoef) {
+		return false
+	}
+	for i := range a.yAlpha {
+		if a.yAlpha[i] != b.yAlpha[i] {
+			return false
+		}
+	}
+	for i := range a.capCoef {
+		if a.capCoef[i] != b.capCoef[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func cloneMatrix(m [][]float64) [][]float64 {
@@ -591,6 +690,9 @@ func cloneMatrix(m [][]float64) [][]float64 {
 // subject to per-flow coverage (3), the pooled Benders cuts (19), and the
 // hamming-distance stabilization (23), with z binary.
 func solveMaster(ctx context.Context, inst *te.Instance, connected [][]bool, cuts []*cut, zPrev *CriticalSet, aliveCap [][]float64, opt Options, shareCuts bool) (*CriticalSet, error) {
+	mcol := obs.From(ctx)
+	var mm obs.DecompMetrics
+	defer func() { mcol.AddDecomp(mm) }()
 	nf, nq := inst.NumFlows(), len(inst.Scenarios)
 	p := lp.NewProblem()
 	pen := p.AddCol("penalty", 0, lp.Inf, 1)
@@ -766,6 +868,7 @@ func solveMaster(ctx context.Context, inst *te.Instance, connected [][]bool, cut
 	}
 
 	solveMIP := func() (*mip.Solution, error) {
+		mm.MasterSolves++
 		return mip.SolveCtx(ctx, &mip.Problem{LP: p, Binary: binaries}, mip.Options{
 			MaxNodes:   opt.MasterNodes,
 			RelGap:     1e-4,
@@ -795,7 +898,8 @@ func solveMaster(ctx context.Context, inst *te.Instance, connected [][]bool, cut
 			// cut order keeps the violated list — and the sort below —
 			// independent of the worker count.
 			penVal := sol.X[pen]
-			perCut, err := par.Map(opt.Workers, len(cuts), func(ci int) ([]viol, error) {
+			perCut := make([][]viol, len(cuts))
+			for _, serr := range par.Collect(ctx, opt.Workers, len(cuts), func(_, ci int) error {
 				ct := cuts[ci]
 				var hits []viol
 				for q := 0; q < nq; q++ {
@@ -810,10 +914,12 @@ func solveMaster(ctx context.Context, inst *te.Instance, connected [][]bool, cut
 						hits = append(hits, viol{ct, q, v - penVal})
 					}
 				}
-				return hits, nil
-			})
-			if err != nil {
-				return nil, err
+				perCut[ci] = hits
+				return nil
+			}) {
+				if serr != nil {
+					return nil, serr
+				}
 			}
 			var violated []viol
 			for _, hits := range perCut {
@@ -826,6 +932,7 @@ func solveMaster(ctx context.Context, inst *te.Instance, connected [][]bool, cut
 			if len(violated) > opt.SharedCutLimit {
 				violated = violated[:opt.SharedCutLimit]
 			}
+			mm.SharedCutRows += int64(len(violated))
 			for _, vv := range violated {
 				addCutRow(vv.ct, vv.q)
 			}
