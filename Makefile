@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race faults obs golden cover bench bench-json clean
+.PHONY: ci vet build test race faults obs fuzz golden cover bench bench-json clean
 
-ci: vet build race faults obs cover
+ci: vet build race faults obs fuzz cover
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +27,17 @@ race:
 # result, race-clean.
 faults:
 	$(GO) test -race -timeout 15m -run 'Fault|Degraded|Cancel' ./...
+
+# Fuzz smoke for the serving layer's two byte-level decoders (DESIGN.md
+# §10): the artifact decoder and the failure-state request parser must
+# turn arbitrary bytes into errors, never panics. The checked-in seed
+# corpora (internal/serve/testdata/fuzz/) run on every plain `go test`;
+# this adds a short coverage-guided exploration on top. One target per
+# invocation — `go test -fuzz` accepts a single fuzz pattern.
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test -fuzz 'FuzzDecodeArtifact' -fuzztime $(FUZZTIME) -run '^$$' ./internal/serve/
+	$(GO) test -fuzz 'FuzzParseRequest' -fuzztime $(FUZZTIME) -run '^$$' ./internal/serve/
 
 # The observability + correctness battery (DESIGN.md §9): obs collector
 # unit tests, the LP property battery (strong duality, complementary

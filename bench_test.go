@@ -6,13 +6,20 @@
 package flexile_test
 
 import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
 	"flexile"
 	"flexile/internal/experiments"
 	"flexile/internal/obs"
+	"flexile/internal/serve"
 )
 
 func tinyCfg() experiments.Config {
@@ -263,6 +270,87 @@ func BenchmarkOnlineAllocation(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServeQuery measures the serving path end to end (request parse
+// → scenario lookup → allocation → JSON): a cold miss recomputes the
+// online allocation, a warm hit returns the cached marshaled bytes. Both
+// report p50/p99 request latency so BENCH_*.json tracks tail behavior of
+// the serving layer, not just the offline solve; the hit path must be
+// orders of magnitude cheaper than a miss.
+func BenchmarkServeQuery(b *testing.B) {
+	inst, err := tinyCfg().SingleClass("IBM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	design, err := flexile.Design(inst, flexile.DesignOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob, err := flexile.ExportArtifact(inst, design, flexile.DesignOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.flxa")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	urls := make([]string, len(inst.Scenarios))
+	for q, scen := range inst.Scenarios {
+		var parts []string
+		for _, e := range scen.Failed {
+			parts = append(parts, strconv.Itoa(e))
+		}
+		urls[q] = "/v1/alloc?failed=" + strings.Join(parts, ",")
+	}
+
+	query := func(b *testing.B, srv *serve.Server, q int) time.Duration {
+		req := httptest.NewRequest("GET", urls[q], nil)
+		rec := httptest.NewRecorder()
+		start := time.Now()
+		srv.ServeHTTP(rec, req)
+		elapsed := time.Since(start)
+		if rec.Code != 200 {
+			b.Fatalf("scenario %d: status %d: %s", q, rec.Code, rec.Body)
+		}
+		return elapsed
+	}
+	reportPercentiles := func(b *testing.B, lat []time.Duration) {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		b.ReportMetric(float64(lat[len(lat)/2].Nanoseconds()), "p50-ns")
+		b.ReportMetric(float64(lat[len(lat)*99/100].Nanoseconds()), "p99-ns")
+	}
+
+	b.Run("miss", func(b *testing.B) {
+		// cache-size 0: every query recomputes the allocation.
+		srv, err := serve.New(path, serve.Config{CacheSize: 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lat = append(lat, query(b, srv, i%len(urls)))
+		}
+		b.StopTimer()
+		reportPercentiles(b, lat)
+	})
+	b.Run("hit", func(b *testing.B) {
+		srv, err := serve.New(path, serve.Config{CacheSize: len(urls)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for q := range urls { // warm every scenario
+			query(b, srv, q)
+		}
+		lat := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lat = append(lat, query(b, srv, i%len(urls)))
+		}
+		b.StopTimer()
+		reportPercentiles(b, lat)
+	})
 }
 
 // BenchmarkPacketEmulation isolates the packet engine on one scenario.

@@ -10,6 +10,7 @@
 //	flexile-exp -fig 10 -workers 1 # force a sequential topology sweep
 //
 //	go test -bench . -run '^$' | flexile-exp -benchjson - -o BENCH_pr1.json
+//	flexile-exp -artifact quest.flxa -topo Quest   # export a serving artifact
 //
 // Figures: 1, 5, 6, 9, 10, 11, 12, 13, 14, 15, 18, gamma, table2, all.
 // Scales: tiny (seconds-minutes), small (minutes), paper (§6 full, hours).
@@ -26,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"flexile"
 	"flexile/internal/benchjson"
 	"flexile/internal/experiments"
 	"flexile/internal/obs"
@@ -39,6 +41,7 @@ func main() {
 	topoName := flag.String("topo", "Quest", "topology for -fig gamma")
 	workers := flag.Int("workers", 0, "per-topology fan-out width (0 = all cores, 1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit per topology sweep, e.g. 10m (0 = unlimited)")
+	artifactOut := flag.String("artifact", "", "solve -topo offline and write a flexile-serve artifact to this file instead of running figures")
 	benchIn := flag.String("benchjson", "", "parse `go test -bench` output from this file (- = stdin) and emit JSON instead of running figures")
 	outPath := flag.String("o", "", "output path for -benchjson (default stdout)")
 	metrics := flag.Bool("metrics", false, "emit the aggregated solver metrics as JSON on stdout after the figures")
@@ -49,6 +52,16 @@ func main() {
 
 	if *benchIn != "" {
 		if err := emitBenchJSON(*benchIn, *outPath); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *artifactOut != "" {
+		if err := exportArtifact(*topoName, *seed, *workers, *timeout, *artifactOut); err != nil {
+			fatal(err)
+		}
+		if err := emitObs(collector, tracer, *metrics, *tracePath); err != nil {
 			fatal(err)
 		}
 		return
@@ -147,6 +160,37 @@ func emitObs(collector *obs.Collector, tracer *obs.Tracer, metrics bool, tracePa
 		}
 		fmt.Fprintf(os.Stderr, "wrote trace to %s\n", tracePath)
 	}
+	return nil
+}
+
+// exportArtifact runs the offline pipeline on one topology (single class,
+// gravity traffic, enumerated failures — the §6 methodology) and writes
+// the serving artifact flexile-serve loads.
+func exportArtifact(topoName string, seed int64, workers int, timeout time.Duration, out string) error {
+	tp, err := flexile.LoadTopology(topoName)
+	if err != nil {
+		return err
+	}
+	inst := flexile.NewSingleClassInstance(tp, 3)
+	if err := flexile.ApplyGravityTraffic(inst, seed, 0.6); err != nil {
+		return err
+	}
+	flexile.GenerateFailures(inst, seed+1, 1e-5, 50)
+	flexile.SetDesignTarget(inst)
+	opt := flexile.DesignOptions{MaxIterations: 5, Workers: workers, Timeout: timeout}
+	design, err := flexile.Design(inst, opt)
+	if err != nil {
+		return err
+	}
+	blob, err := flexile.ExportArtifact(inst, design, opt)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote serving artifact for %s (%d scenarios, %d bytes) to %s\n",
+		tp.Name, len(inst.Scenarios), len(blob), out)
 	return nil
 }
 

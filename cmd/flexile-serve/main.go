@@ -1,0 +1,114 @@
+// Command flexile-serve is the online allocation daemon: it loads a
+// serving artifact produced by `flexile -artifact` or `flexile-exp
+// -artifact`, then answers failure-state allocation queries over HTTP
+// from a per-scenario cache with single-flight recomputation.
+//
+// Usage:
+//
+//	flexile -topo IBM -artifact ibm.flxa
+//	flexile-serve -artifact ibm.flxa -listen :8080
+//	curl 'localhost:8080/v1/alloc?failed=3'
+//	curl -d '{"failed":[3,7]}' localhost:8080/v1/alloc
+//
+// SIGHUP reloads the artifact atomically (a failed reload keeps the old
+// one serving); SIGINT/SIGTERM drain in-flight requests and exit. With
+// -metrics the aggregated serving counters are printed as JSON on exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flexile/internal/obs"
+	"flexile/internal/serve"
+)
+
+func main() {
+	artifact := flag.String("artifact", "", "serving artifact file (required; see flexile -artifact)")
+	listen := flag.String("listen", "127.0.0.1:8080", "listen address")
+	cacheSize := flag.Int("cache-size", 1024, "allocation cache entries (0 disables, negative = unbounded)")
+	workers := flag.Int("workers", 0, "concurrent recomputation bound (0 = all cores)")
+	metrics := flag.Bool("metrics", false, "emit the aggregated serving metrics as JSON on stdout at exit")
+	tracePath := flag.String("trace", "", "write a chrome://tracing timeline to this file at exit")
+	flag.Parse()
+	if *artifact == "" {
+		fatal(errors.New("-artifact is required"))
+	}
+
+	var collector *obs.Collector
+	var tracer *obs.Tracer
+	if *metrics || *tracePath != "" {
+		collector = obs.New()
+		if *tracePath != "" {
+			tracer = obs.NewTracer()
+			collector.AttachTracer(tracer)
+		}
+		obs.SetGlobal(collector)
+	}
+
+	srv, err := serve.New(*artifact, serve.Config{
+		CacheSize: *cacheSize,
+		Workers:   *workers,
+		Obs:       collector,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	stopHUP := srv.WatchHUP(func(err error) {
+		fmt.Fprintln(os.Stderr, "flexile-serve: reload failed, keeping previous artifact:", err)
+	})
+	defer stopHUP()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hs := &http.Server{Addr: *listen, Handler: srv}
+	done := make(chan error, 1)
+	go func() { done <- hs.ListenAndServe() }()
+	fmt.Printf("flexile-serve: serving %s on %s (cache %d, reload with SIGHUP)\n", *artifact, *listen, *cacheSize)
+
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "flexile-serve: shutdown:", err)
+		}
+		<-done // ListenAndServe has returned http.ErrServerClosed
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+
+	if *metrics {
+		fmt.Printf("%s\n", collector.Snapshot().JSON())
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace to %s\n", *tracePath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flexile-serve:", err)
+	os.Exit(1)
+}

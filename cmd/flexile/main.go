@@ -36,6 +36,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock limit for the offline solve, e.g. 30s, 5m (0 = unlimited)")
 	compare := flag.Bool("compare", false, "also run the baseline schemes")
 	sequential := flag.Bool("sequential", false, "use the §4.4 explicit-priority sequential design")
+	artifactPath := flag.String("artifact", "", "write the serving artifact (for flexile-serve) to this file after the offline solve")
 	metrics := flag.Bool("metrics", false, "emit the aggregated solver metrics as JSON on stdout at the end")
 	tracePath := flag.String("trace", "", "write a chrome://tracing timeline of the solves to this file")
 	flag.Parse()
@@ -111,6 +112,17 @@ func main() {
 	}
 	fmt.Printf("critical-set storage: %d bytes for %d flows × %d scenarios\n",
 		design.Critical.ByteSize(), design.Critical.Flows(), design.Critical.Scenarios())
+
+	if *artifactPath != "" {
+		blob, err := flexile.ExportArtifact(inst, design, opt)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*artifactPath, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote serving artifact (%d bytes) to %s\n", len(blob), *artifactPath)
+	}
 
 	var routing *flexile.Routing
 	if *sequential {

@@ -1,0 +1,83 @@
+package flexile_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"flexile"
+	"flexile/internal/serve"
+)
+
+// TestExportArtifactFacade drives the public solve→export→serve pipeline:
+// the artifact written through the facade must serve allocations
+// bit-identical to AllocateOnFailure on the original instance.
+func TestExportArtifactFacade(t *testing.T) {
+	inst := flexile.NewSingleClassInstance(flexile.TriangleTopology(), 3)
+	inst.Demand[0][0] = 1
+	inst.Demand[0][1] = 1
+	flexile.GenerateFailures(inst, 1, 0, 0)
+	flexile.SetDesignTarget(inst)
+
+	opt := flexile.DesignOptions{Workers: 2}
+	design, err := flexile.Design(inst, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := flexile.ExportArtifact(inst, design, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "triangle.flxa")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := serve.New(path, serve.Config{CacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for q, scen := range inst.Scenarios {
+		fracs, x, err := flexile.AllocateOnFailure(inst, design, q, opt)
+		if err != nil {
+			t.Fatalf("AllocateOnFailure(%d): %v", q, err)
+		}
+		want, err := json.Marshal(serve.AllocResponse{Scenario: q, Prob: scen.Prob, Frac: fracs, X: x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var parts []string
+		for _, e := range scen.Failed {
+			parts = append(parts, strconv.Itoa(e))
+		}
+		resp, err := ts.Client().Get(ts.URL + "/v1/alloc?failed=" + strings.Join(parts, ","))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body bytes.Buffer
+		if _, err := body.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("scenario %d: status %d: %s", q, resp.StatusCode, body.String())
+		}
+		if !bytes.Equal(body.Bytes(), want) {
+			t.Fatalf("scenario %d: served body differs from AllocateOnFailure", q)
+		}
+	}
+
+	// Export validation: a design whose critical set is missing must be
+	// rejected, not encoded into a broken artifact.
+	if _, err := flexile.ExportArtifact(inst, &flexile.DesignResult{}, opt); err == nil {
+		t.Fatal("ExportArtifact accepted a design without a critical set")
+	}
+}

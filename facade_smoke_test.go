@@ -1,0 +1,63 @@
+package flexile_test
+
+import (
+	"testing"
+
+	"flexile"
+	"flexile/internal/tunnels"
+)
+
+// TestFacadeConstructors pins the thin facade aliases: every constructor
+// must return a usable value, and the loss-matrix entry points must agree
+// with Evaluate on the same routing.
+func TestFacadeConstructors(t *testing.T) {
+	names := flexile.Topologies()
+	if len(names) == 0 {
+		t.Fatal("Topologies returned none")
+	}
+
+	tp := flexile.TriangleTopology()
+	if inst := flexile.NewTwoClassInstance(tp); len(inst.Classes) != 2 {
+		t.Fatalf("NewTwoClassInstance: %d classes", len(inst.Classes))
+	}
+	inst := flexile.NewInstance(tp, []flexile.Class{
+		{Name: "c", Beta: 0.99, Weight: 1, Tunnels: tunnels.SingleClass(2)},
+	})
+	if len(inst.Classes) != 1 {
+		t.Fatalf("NewInstance: %d classes", len(inst.Classes))
+	}
+
+	if s := flexile.NewScenBest(); s == nil || s.Name() == "" {
+		t.Fatal("NewScenBest")
+	}
+	if s := flexile.NewFlexileWith(flexile.DesignOptions{Workers: 1}); s == nil {
+		t.Fatal("NewFlexileWith")
+	}
+	if s := flexile.NewFlexileSequential(); s == nil {
+		t.Fatal("NewFlexileSequential")
+	}
+
+	// Route the Fig. 1 triangle and cross-check the loss entry points.
+	ti := flexile.NewSingleClassInstance(tp, 3)
+	ti.Demand[0][0] = 1
+	ti.Demand[0][1] = 1
+	flexile.GenerateFailures(ti, 1, 0, 0)
+	flexile.SetDesignTarget(ti)
+	routing, err := flexile.NewFlexile().Route(ti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := flexile.Evaluate(ti, routing)
+	ev2 := flexile.EvaluateLosses(ti, ev.Losses)
+	if ev.Penalty != ev2.Penalty || len(ev.PercLoss) != len(ev2.PercLoss) {
+		t.Fatal("EvaluateLosses disagrees with Evaluate on the same matrix")
+	}
+
+	fluid, err := flexile.EmulateFluid(ti, routing, flexile.EmulationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fluid) != ti.NumFlows() {
+		t.Fatalf("EmulateFluid: %d rows, want %d", len(fluid), ti.NumFlows())
+	}
+}

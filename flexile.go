@@ -41,6 +41,7 @@ import (
 	"flexile/internal/scheme/scenbest"
 	"flexile/internal/scheme/swan"
 	"flexile/internal/scheme/teavar"
+	"flexile/internal/serve"
 	"flexile/internal/te"
 	"flexile/internal/topo"
 	"flexile/internal/traffic"
@@ -211,6 +212,20 @@ func NewFlexileWith(opt DesignOptions) *flexscheme.Scheme { return &flexscheme.S
 // full per-scenario routing.
 func Design(inst *Instance, opt DesignOptions) (*DesignResult, error) {
 	return flexscheme.Offline(inst, opt)
+}
+
+// ExportArtifact serializes an instance plus its offline design result in
+// the versioned, checksummed binary format that flexile-serve loads: the
+// critical-set bitmap, ScenLossOpt vector, subproblem losses, tunnel
+// tables, demands and failure scenarios. The returned bytes round-trip
+// losslessly — a server loading them produces allocations bit-identical to
+// AllocateOnFailure on the original instance.
+func ExportArtifact(inst *Instance, design *DesignResult, opt DesignOptions) ([]byte, error) {
+	a, err := serve.Build(inst, design, opt)
+	if err != nil {
+		return nil, err
+	}
+	return a.Encode(), nil
 }
 
 // AllocateOnFailure runs Flexile's online phase for one scenario index:

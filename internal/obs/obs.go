@@ -146,6 +146,36 @@ type PoolMetrics struct {
 	BusyNanos int64 `json:"busy_ns"`
 }
 
+// ServeMetrics aggregates the online allocation server's counters
+// (internal/serve, the flexile-serve daemon). All fields except
+// RequestNanos are deterministic given the request/reload sequence.
+type ServeMetrics struct {
+	// Requests counts allocation queries accepted by the HTTP layer
+	// (including ones that fail validation); BadRequests of those were
+	// rejected (malformed JSON, unknown failure state, out-of-range ids).
+	Requests    int64 `json:"requests"`
+	BadRequests int64 `json:"bad_requests"`
+	// CacheHits/CacheMisses split the valid queries by whether the
+	// per-scenario allocation cache answered directly. With the cache
+	// disabled (-cache-size 0) every valid query is a miss.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// Recomputes counts Online solves actually executed; FlightShared
+	// counts misses that coalesced onto another request's in-flight solve
+	// (single-flight), so Recomputes + FlightShared == CacheMisses on an
+	// error-free run.
+	Recomputes   int64 `json:"recomputes"`
+	FlightShared int64 `json:"flight_shared"`
+	// Reloads counts successful artifact (re)loads — the initial load plus
+	// every SIGHUP swap; ReloadErrors counts loads that failed and left the
+	// previous artifact serving.
+	Reloads      int64 `json:"reloads"`
+	ReloadErrors int64 `json:"reload_errors"`
+	// RequestNanos is total wall-clock time inside the allocation handler.
+	// Scheduling-dependent: zeroed by Canonical().
+	RequestNanos int64 `json:"request_ns"`
+}
+
 // SolveMetrics is one solve's (or one process's) aggregated observability
 // snapshot, attached to flexile's SolveReport and emitted as JSON by the
 // CLIs' -metrics flag.
@@ -154,6 +184,7 @@ type SolveMetrics struct {
 	MIP    MIPMetrics    `json:"mip"`
 	Decomp DecompMetrics `json:"decomposition"`
 	Pool   PoolMetrics   `json:"pool"`
+	Serve  ServeMetrics  `json:"serve"`
 }
 
 // Canonical returns the deterministic portion of the snapshot: wall-clock
@@ -166,6 +197,7 @@ func (m SolveMetrics) Canonical() SolveMetrics {
 	m.Pool.MaxWorkers = 0
 	m.Pool.WorkerItems = nil
 	m.Pool.BusyNanos = 0
+	m.Serve.RequestNanos = 0
 	return m
 }
 
@@ -283,6 +315,22 @@ func (c *Collector) AddDecomp(d DecompMetrics) {
 	}
 }
 
+// AddServe flushes allocation-server counters.
+func (c *Collector) AddServe(d ServeMetrics) {
+	for ; c != nil; c = c.parent {
+		m := &c.m.Serve
+		atomic.AddInt64(&m.Requests, d.Requests)
+		atomic.AddInt64(&m.BadRequests, d.BadRequests)
+		atomic.AddInt64(&m.CacheHits, d.CacheHits)
+		atomic.AddInt64(&m.CacheMisses, d.CacheMisses)
+		atomic.AddInt64(&m.Recomputes, d.Recomputes)
+		atomic.AddInt64(&m.FlightShared, d.FlightShared)
+		atomic.AddInt64(&m.Reloads, d.Reloads)
+		atomic.AddInt64(&m.ReloadErrors, d.ReloadErrors)
+		atomic.AddInt64(&m.RequestNanos, d.RequestNanos)
+	}
+}
+
 // PoolLaunch records one pool invocation of the given width.
 func (c *Collector) PoolLaunch(workers int) {
 	for ; c != nil; c = c.parent {
@@ -361,6 +409,16 @@ func (c *Collector) Snapshot() SolveMetrics {
 	pd.Items = atomic.LoadInt64(&ps.Items)
 	pd.MaxWorkers = atomic.LoadInt64(&ps.MaxWorkers)
 	pd.BusyNanos = atomic.LoadInt64(&ps.BusyNanos)
+	ss, sd := &c.m.Serve, &out.Serve
+	sd.Requests = atomic.LoadInt64(&ss.Requests)
+	sd.BadRequests = atomic.LoadInt64(&ss.BadRequests)
+	sd.CacheHits = atomic.LoadInt64(&ss.CacheHits)
+	sd.CacheMisses = atomic.LoadInt64(&ss.CacheMisses)
+	sd.Recomputes = atomic.LoadInt64(&ss.Recomputes)
+	sd.FlightShared = atomic.LoadInt64(&ss.FlightShared)
+	sd.Reloads = atomic.LoadInt64(&ss.Reloads)
+	sd.ReloadErrors = atomic.LoadInt64(&ss.ReloadErrors)
+	sd.RequestNanos = atomic.LoadInt64(&ss.RequestNanos)
 	c.poolMu.Lock()
 	if len(c.workerItems) > 0 {
 		pd.WorkerItems = append([]int64(nil), c.workerItems...)

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestServeMetricsRollup(t *testing.T) {
+	root := New()
+	child := NewChild(root)
+	child.AddServe(ServeMetrics{Requests: 3, CacheHits: 2, CacheMisses: 1, Recomputes: 1, RequestNanos: 500})
+	child.AddServe(ServeMetrics{Requests: 1, BadRequests: 1, Reloads: 1, ReloadErrors: 1, FlightShared: 1})
+	for name, s := range map[string]SolveMetrics{"child": child.Snapshot(), "root": root.Snapshot()} {
+		sv := s.Serve
+		if sv.Requests != 4 || sv.BadRequests != 1 || sv.CacheHits != 2 || sv.CacheMisses != 1 {
+			t.Fatalf("%s Serve = %+v", name, sv)
+		}
+		if sv.Recomputes != 1 || sv.FlightShared != 1 || sv.Reloads != 1 || sv.ReloadErrors != 1 || sv.RequestNanos != 500 {
+			t.Fatalf("%s Serve = %+v", name, sv)
+		}
+	}
+}
+
+func TestServeMetricsNilAndCanonical(t *testing.T) {
+	var nilC *Collector
+	nilC.AddServe(ServeMetrics{Requests: 1}) // must not panic
+
+	c := New()
+	c.AddServe(ServeMetrics{Requests: 2, CacheHits: 1, RequestNanos: 12345})
+	got := c.Snapshot().Canonical()
+	want := SolveMetrics{}
+	want.Serve = ServeMetrics{Requests: 2, CacheHits: 1} // RequestNanos is scheduling-dependent
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Canonical() = %+v, want %+v", got, want)
+	}
+}
+
+func TestServeMetricsConcurrentExact(t *testing.T) {
+	c := New()
+	const goroutines, perG = 8, 400
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.AddServe(ServeMetrics{Requests: 1, CacheMisses: 1, RequestNanos: 2})
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot().Serve
+	if s.Requests != goroutines*perG || s.CacheMisses != goroutines*perG || s.RequestNanos != 2*goroutines*perG {
+		t.Fatalf("Serve = %+v", s)
+	}
+}
+
+func TestServeMetricsJSONKeys(t *testing.T) {
+	c := New()
+	c.AddServe(ServeMetrics{Requests: 1, CacheHits: 1, Reloads: 1})
+	b := c.Snapshot().JSON()
+	var back SolveMetrics
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b)
+	}
+	if !reflect.DeepEqual(back.Serve, c.Snapshot().Serve) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back.Serve, c.Snapshot().Serve)
+	}
+	for _, key := range []string{`"serve"`, `"cache_hits"`, `"cache_misses"`, `"reloads"`, `"request_ns"`} {
+		if !strings.Contains(string(b), key) {
+			t.Fatalf("JSON output missing %s:\n%s", key, b)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package par
+
+import (
+	"context"
+	"sync"
+)
+
+// Flight is a generic single-flight group: concurrent Do calls with the
+// same key share one execution of fn, so a thundering herd of identical
+// requests (the allocation server's cache misses under one network state)
+// costs a single recomputation. Unlike caching, a Flight holds no state
+// between flights — once the shared call returns, the key is forgotten.
+//
+// The failure contract matches the pool: a panic inside fn is recovered
+// into a *PanicError (Worker and Item are -1: flights have neither) and
+// returned as the call's error to the initiator and every sharer, so one
+// poisoned computation can never strand waiters on a closed-over channel.
+type Flight[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do executes fn under key, coalescing with any in-flight call for the same
+// key. It returns fn's result and whether this caller shared another call's
+// execution (true) or ran fn itself (false).
+func (f *Flight[K, V]) Do(key K, fn func() (V, error)) (v V, err error, shared bool) {
+	f.mu.Lock()
+	if c, ok := f.m[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	if f.m == nil {
+		f.m = make(map[K]*flightCall[V])
+	}
+	f.m[key] = c
+	f.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = &PanicError{Worker: -1, Item: -1, Value: r}
+			}
+		}()
+		c.val, c.err = fn()
+	}()
+
+	f.mu.Lock()
+	delete(f.m, key)
+	f.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}
+
+// Gate bounds how many goroutines may run a section concurrently — the
+// allocation server uses one to keep cache-miss recomputations from
+// oversubscribing the CPU when many distinct scenarios are queried at once.
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate returns a gate admitting n concurrent holders; n follows the
+// Workers convention (0 = NumCPU, negative = 1).
+func NewGate(n int) *Gate {
+	return &Gate{slots: make(chan struct{}, Workers(n))}
+}
+
+// Enter blocks until a slot is free or ctx is done, returning ctx's error
+// in the latter case. A nil ctx is context.Background().
+func (g *Gate) Enter(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Leave releases a slot acquired by Enter.
+func (g *Gate) Leave() { <-g.slots }

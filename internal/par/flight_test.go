@@ -1,0 +1,174 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFlightCoalesces(t *testing.T) {
+	var f Flight[string, int]
+	var execs atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]int, callers)
+	sharedCount := atomic.Int64{}
+	// One caller starts the flight and blocks in fn; the rest must share it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err, _ := f.Do("k", func() (int, error) {
+			close(started)
+			<-release
+			execs.Add(1)
+			return 42, nil
+		})
+		if err != nil {
+			t.Errorf("initiator: %v", err)
+		}
+		results[0] = v
+	}()
+	<-started
+	for i := 1; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, shared := f.Do("k", func() (int, error) {
+				execs.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Give the sharers a moment to park on the in-flight call, then release.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	for i, v := range results {
+		if v != 42 {
+			t.Errorf("caller %d got %d, want 42", i, v)
+		}
+	}
+	// Callers that arrived while the first was blocked shared its execution;
+	// stragglers that arrived after completion ran their own. Either way the
+	// initiator executed exactly once and at least the parked callers shared.
+	if execs.Load() > int64(callers)-sharedCount.Load() {
+		t.Errorf("%d executions with %d shared callers", execs.Load(), sharedCount.Load())
+	}
+	if sharedCount.Load() == 0 {
+		t.Error("no caller shared the blocked flight")
+	}
+}
+
+func TestFlightDistinctKeysIndependent(t *testing.T) {
+	var f Flight[int, int]
+	var wg sync.WaitGroup
+	var execs atomic.Int64
+	for k := 0; k < 10; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			v, err, _ := f.Do(k, func() (int, error) {
+				execs.Add(1)
+				return k * k, nil
+			})
+			if err != nil || v != k*k {
+				t.Errorf("key %d: got (%d, %v)", k, v, err)
+			}
+		}(k)
+	}
+	wg.Wait()
+	if execs.Load() != 10 {
+		t.Errorf("distinct keys executed %d times, want 10", execs.Load())
+	}
+}
+
+func TestFlightError(t *testing.T) {
+	var f Flight[string, int]
+	boom := errors.New("boom")
+	_, err, shared := f.Do("k", func() (int, error) { return 0, boom })
+	if !errors.Is(err, boom) || shared {
+		t.Fatalf("got (%v, shared=%v), want boom unshared", err, shared)
+	}
+	// The key is forgotten after the flight: a retry runs fn again.
+	v, err, _ := f.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry got (%d, %v), want 7", v, err)
+	}
+}
+
+func TestFlightPanicBecomesError(t *testing.T) {
+	var f Flight[string, int]
+	_, err, _ := f.Do("k", func() (int, error) { panic("kaboom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+	if pe.Value != "kaboom" {
+		t.Errorf("panic value %v, want kaboom", pe.Value)
+	}
+	// The poisoned key must not be stuck.
+	v, err, _ := f.Do("k", func() (int, error) { return 1, nil })
+	if err != nil || v != 1 {
+		t.Fatalf("after panic got (%d, %v), want 1", v, err)
+	}
+}
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	g := NewGate(2)
+	var cur, max atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Enter(context.Background()); err != nil {
+				t.Errorf("Enter: %v", err)
+				return
+			}
+			n := cur.Add(1)
+			for {
+				m := max.Load()
+				if n <= m || max.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			g.Leave()
+		}()
+	}
+	wg.Wait()
+	if got := max.Load(); got > 2 {
+		t.Errorf("observed %d concurrent holders, gate admits 2", got)
+	}
+}
+
+func TestGateEnterCancelled(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Enter(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := g.Enter(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Enter on full gate with cancelled ctx: %v, want Canceled", err)
+	}
+	g.Leave()
+	if err := g.Enter(nil); err != nil {
+		t.Fatalf("Enter with nil ctx after Leave: %v", err)
+	}
+}

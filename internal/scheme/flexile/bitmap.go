@@ -1,5 +1,7 @@
 package flexile
 
+import "fmt"
+
 // CriticalSet is the compact flow×scenario bitmap of critical-scenario
 // decisions (z_fq). §4.3 notes this is the only extra state the controller
 // stores beyond existing TE schemes: one bit per (flow, scenario) — about
@@ -131,6 +133,34 @@ func (sc *ScenarioColumn) EqualColumn(o *CriticalSet, q int) bool {
 		}
 	}
 	return true
+}
+
+// Words exposes the bitmap's backing 64-bit words for serialization (the
+// offline artifact consumed by internal/serve). The slice aliases the
+// bitmap's storage: callers must treat it as read-only.
+func (c *CriticalSet) Words() []uint64 { return c.bits }
+
+// NewCriticalSetFromWords reconstructs a bitmap from its serialized words.
+// The word count must match the dimensions exactly; stray bits beyond
+// flows×scens in the last word are cleared so reconstructed bitmaps compare
+// equal to organically built ones.
+func NewCriticalSetFromWords(flows, scens int, words []uint64) (*CriticalSet, error) {
+	if flows < 0 || scens < 0 {
+		return nil, fmt.Errorf("flexile: negative critical-set dimensions %d×%d", flows, scens)
+	}
+	n := flows * scens
+	if flows != 0 && n/flows != scens {
+		return nil, fmt.Errorf("flexile: critical-set dimensions %d×%d overflow", flows, scens)
+	}
+	need := (n + 63) / 64
+	if len(words) != need {
+		return nil, fmt.Errorf("flexile: critical set %d×%d needs %d words, got %d", flows, scens, need, len(words))
+	}
+	c := &CriticalSet{flows: flows, scens: scens, bits: append([]uint64(nil), words...)}
+	if rem := n & 63; rem != 0 && need > 0 {
+		c.bits[need-1] &= (1 << uint(rem)) - 1
+	}
+	return c, nil
 }
 
 // Hamming returns the number of differing bits.

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"flexile/internal/graph"
+)
+
+// The dec reader's contract is "latch the first error, return zero values
+// after": every primitive must hit both its truncation branch and its
+// already-failed early return, since Decode's straight-line style leans
+// on exactly that.
+func TestDecPrimitives(t *testing.T) {
+	trunc := []struct {
+		name string
+		buf  []byte
+		read func(d *dec)
+	}{
+		{"u8-empty", nil, func(d *dec) { d.u8() }},
+		{"u32-short", []byte{1, 2, 3}, func(d *dec) { d.u32() }},
+		{"u64-short", []byte{1, 2, 3, 4, 5, 6, 7}, func(d *dec) { d.u64() }},
+		{"str-body", []byte{3, 0, 0, 0, 'a'}, func(d *dec) { d.str("s", 10) }},
+	}
+	for _, tc := range trunc {
+		d := &dec{b: tc.buf}
+		tc.read(d)
+		if !errors.Is(d.err, ErrArtifact) {
+			t.Fatalf("%s: err = %v, want ErrArtifact", tc.name, d.err)
+		}
+		// Latched: every further read is a no-op returning zero values.
+		if d.u8() != 0 || d.u32() != 0 || d.u64() != 0 || d.f64() != 0 ||
+			d.fin("x") != 0 || d.unit("x") != 0 || d.count("x", 10, 1) != 0 ||
+			d.str("x", 10) != "" {
+			t.Fatalf("%s: reads after error returned non-zero", tc.name)
+		}
+	}
+
+	f64buf := func(v uint64) []byte {
+		b := make([]byte, 8)
+		binary.LittleEndian.PutUint64(b, v)
+		return b
+	}
+	bad := []struct {
+		name string
+		buf  []byte
+		read func(d *dec)
+	}{
+		{"fin-nan", f64buf(math.Float64bits(math.NaN())), func(d *dec) { d.fin("v") }},
+		{"fin-inf", f64buf(math.Float64bits(math.Inf(-1))), func(d *dec) { d.fin("v") }},
+		{"unit-negative", f64buf(math.Float64bits(-0.5)), func(d *dec) { d.unit("v") }},
+		{"unit-above-one", f64buf(math.Float64bits(1.5)), func(d *dec) { d.unit("v") }},
+		{"unit-nan", f64buf(math.Float64bits(math.NaN())), func(d *dec) { d.unit("v") }},
+		{"count-over-limit", []byte{5, 0, 0, 0}, func(d *dec) { d.count("c", 4, 0) }},
+		{"count-over-remaining", []byte{5, 0, 0, 0, 1, 2}, func(d *dec) { d.count("c", 100, 4) }},
+		{"node-out-of-range", []byte{9, 0, 0, 0}, func(d *dec) { d.node(3) }},
+	}
+	for _, tc := range bad {
+		d := &dec{b: tc.buf}
+		tc.read(d)
+		if !errors.Is(d.err, ErrArtifact) {
+			t.Fatalf("%s: err = %v, want ErrArtifact", tc.name, d.err)
+		}
+	}
+
+	// Happy paths, including count with elemBytes 0 (no physical check).
+	d := &dec{b: append([]byte{2, 0, 0, 0}, f64buf(math.Float64bits(0.25))...)}
+	if n := d.count("c", 10, 0); n != 2 || d.err != nil {
+		t.Fatalf("count = %d, err %v", n, d.err)
+	}
+	if v := d.unit("v"); v != 0.25 || d.err != nil {
+		t.Fatalf("unit = %v, err %v", v, d.err)
+	}
+	if d.remaining() != 0 {
+		t.Fatalf("remaining = %d", d.remaining())
+	}
+}
+
+func TestDecPathRejectsMalformedWalks(t *testing.T) {
+	a := &Artifact{NumNodes: 3}
+	a.Edges = append(a.Edges, graph.Edge{A: 0, B: 1, Capacity: 1}, graph.Edge{A: 1, B: 2, Capacity: 1})
+
+	enc := func(words ...uint32) []byte {
+		b := make([]byte, 0, 4*len(words))
+		for _, w := range words {
+			b = binary.LittleEndian.AppendUint32(b, w)
+		}
+		return b
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		// Count claims 1 edge but only the count itself is present; the
+		// 8*ne+4 pre-check must fire before any node read.
+		{"short-walk", enc(1)},
+		{"node-out-of-range", enc(1, 7, 1, 0)},
+		{"edge-out-of-range", enc(1, 0, 1, 9)},
+		// Edge 1 joins (1,2), not (0,1): a disconnected walk.
+		{"edge-joins-wrong-nodes", enc(1, 0, 1, 1)},
+	}
+	for _, tc := range cases {
+		d := &dec{b: tc.buf}
+		d.path(a)
+		if !errors.Is(d.err, ErrArtifact) {
+			t.Fatalf("%s: err = %v, want ErrArtifact", tc.name, d.err)
+		}
+	}
+
+	// A reversed edge is still a valid walk (edges are undirected).
+	d := &dec{b: enc(1, 1, 0, 0)}
+	p := d.path(a)
+	if d.err != nil {
+		t.Fatalf("reversed walk rejected: %v", d.err)
+	}
+	if len(p.Edges) != 1 || p.Edges[0] != 0 {
+		t.Fatalf("path = %+v", p)
+	}
+}
+
+func TestLRUCachePutUpdatesExisting(t *testing.T) {
+	c := newLRUCache(2)
+	c.put(1, []byte("a"))
+	c.put(2, []byte("b"))
+	c.put(1, []byte("a2")) // update in place, refresh recency
+	if got, ok := c.get(1); !ok || string(got) != "a2" {
+		t.Fatalf("get(1) = %q, %v", got, ok)
+	}
+	c.put(3, []byte("c")) // evicts 2, the least recently used
+	if _, ok := c.get(2); ok {
+		t.Fatal("key 2 survived eviction")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d", c.len())
+	}
+	// capacity 0: put is a no-op.
+	z := newLRUCache(0)
+	z.put(1, []byte("x"))
+	if z.len() != 0 {
+		t.Fatal("capacity-0 cache stored an entry")
+	}
+}

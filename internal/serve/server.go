@@ -1,0 +1,517 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"flexile/internal/obs"
+	"flexile/internal/par"
+	flexscheme "flexile/internal/scheme/flexile"
+	"flexile/internal/te"
+)
+
+// maxRequestBody bounds how much of an allocation request body the server
+// will read; a failure state for even the largest supported topology fits
+// in far less.
+const maxRequestBody = 1 << 20
+
+// Config tunes a Server.
+type Config struct {
+	// CacheSize is the per-artifact allocation-cache capacity in entries
+	// (one entry per scenario). 0 disables caching: every query recomputes
+	// (still deduplicated by single-flight). Negative means unbounded.
+	CacheSize int
+	// Workers bounds concurrent recomputations (par.Workers convention:
+	// 0 = NumCPU, negative = 1).
+	Workers int
+	// Obs receives serving counters; nil falls back to obs.Global().
+	Obs *obs.Collector
+	// LoadHook, when non-nil, runs at the start of every artifact
+	// (re)load with a monotonically increasing attempt number. An error
+	// fails the load; tests use it with internal/faultinject to exercise
+	// the reload-failure path.
+	LoadHook func(attempt int) error
+}
+
+func (c Config) collector() *obs.Collector {
+	if c.Obs != nil {
+		return c.Obs
+	}
+	return obs.Global()
+}
+
+// state is everything derived from one loaded artifact. A reload builds a
+// complete new state and swaps the pointer; in-flight requests finish
+// against the state they started with, so a swap can never mix two
+// artifacts' data, and the old state's cache dies with it.
+type state struct {
+	art      *Artifact
+	inst     *te.Instance
+	off      *flexscheme.OfflineResult
+	opt      flexscheme.Options
+	checksum string
+	loadedAt time.Time
+	// scenIndex maps a canonical failed-edge key to a scenario index.
+	scenIndex map[string]int
+	cache     *lruCache
+	flight    par.Flight[int, []byte]
+}
+
+// Server answers allocation queries from a loaded artifact. It is an
+// http.Handler; see Routes for the endpoint list.
+type Server struct {
+	cfg  Config
+	path string
+	mux  *http.ServeMux
+	gate *par.Gate
+
+	reloadMu sync.Mutex // serializes Reload (attempt numbering + swap order)
+	attempts int
+	st       atomicState
+}
+
+// atomicState is a tiny wrapper so Server needs no generics import just
+// for atomic.Pointer[state].
+type atomicState struct {
+	mu sync.RWMutex
+	s  *state
+}
+
+func (a *atomicState) load() *state {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.s
+}
+
+func (a *atomicState) store(s *state) {
+	a.mu.Lock()
+	a.s = s
+	a.mu.Unlock()
+}
+
+// New loads the artifact at path and returns a ready server. The initial
+// load uses the same validation and hook path as SIGHUP reloads.
+func New(path string, cfg Config) (*Server, error) {
+	s := &Server{cfg: cfg, path: path, gate: par.NewGate(cfg.Workers)}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
+	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	s.mux.HandleFunc("GET /v1/alloc", s.handleAlloc)
+	s.mux.HandleFunc("POST /v1/alloc", s.handleAlloc)
+	if err := s.Reload(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Reload re-reads the artifact file, validates it, and atomically swaps it
+// in. On any failure — including a panic while decoding or instantiating —
+// the previous artifact keeps serving and the error is returned. The
+// allocation cache starts empty after a successful reload.
+func (s *Server) Reload() (err error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	s.attempts++
+	attempt := s.attempts
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: reload panic: %v", r)
+		}
+		if c := s.cfg.collector(); c != nil {
+			d := obs.ServeMetrics{Reloads: 1}
+			if err != nil {
+				d.ReloadErrors = 1
+			}
+			c.AddServe(d)
+		}
+	}()
+	if hook := s.cfg.LoadHook; hook != nil {
+		if herr := hook(attempt); herr != nil {
+			return fmt.Errorf("serve: load hook: %w", herr)
+		}
+	}
+	data, rerr := os.ReadFile(s.path)
+	if rerr != nil {
+		return fmt.Errorf("serve: read artifact: %w", rerr)
+	}
+	st, berr := newState(data, s.cfg.CacheSize)
+	if berr != nil {
+		return berr
+	}
+	s.st.store(st)
+	return nil
+}
+
+func newState(data []byte, cacheSize int) (*state, error) {
+	art, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	inst, off, opt, err := art.Instantiate()
+	if err != nil {
+		return nil, err
+	}
+	st := &state{
+		art:       art,
+		inst:      inst,
+		off:       off,
+		opt:       opt,
+		checksum:  art.Checksum(),
+		loadedAt:  time.Now(),
+		scenIndex: make(map[string]int, len(art.Scenarios)),
+		cache:     newLRUCache(cacheSize),
+	}
+	for q, sc := range art.Scenarios {
+		st.scenIndex[failedKey(sc.Failed)] = q
+	}
+	return st, nil
+}
+
+// WatchHUP installs a SIGHUP handler that reloads the artifact until stop
+// is called. Reload errors are reported through onErr (which may be nil)
+// and leave the previous artifact serving.
+func (s *Server) WatchHUP(onErr func(error)) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGHUP)
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		for {
+			select {
+			case <-ch:
+				if err := s.Reload(); err != nil && onErr != nil {
+					onErr(err)
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+			<-finished
+		})
+	}
+}
+
+// --- request parsing ---
+
+// AllocRequest is a failure-state allocation query: the set of failed
+// edges, canonicalized (sorted, deduplicated) by the parsers.
+type AllocRequest struct {
+	Failed []int `json:"failed"`
+}
+
+// ErrBadRequest is wrapped by every request-parse failure.
+var ErrBadRequest = errors.New("serve: bad request")
+
+// ParseRequest parses a JSON allocation-request body. Arbitrary bytes
+// yield a wrapped ErrBadRequest, never a panic; edge ids are validated
+// non-negative and bounded, then sorted and deduplicated.
+func ParseRequest(data []byte) (*AllocRequest, error) {
+	if len(data) > maxRequestBody {
+		return nil, fmt.Errorf("%w: body of %d bytes exceeds %d", ErrBadRequest, len(data), maxRequestBody)
+	}
+	var req AllocRequest
+	d := json.NewDecoder(strings.NewReader(string(data)))
+	d.DisallowUnknownFields()
+	if err := d.Decode(&req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if d.More() {
+		return nil, fmt.Errorf("%w: trailing data after request object", ErrBadRequest)
+	}
+	if err := canonicalize(&req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// ParseQuery parses the GET form of an allocation query: a "failed"
+// parameter holding a comma-separated edge list ("" or absent means no
+// failures). Same guarantees as ParseRequest.
+func ParseQuery(failed string) (*AllocRequest, error) {
+	req := &AllocRequest{}
+	if failed != "" {
+		for _, part := range strings.Split(failed, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("%w: failed edge %q: %v", ErrBadRequest, part, err)
+			}
+			req.Failed = append(req.Failed, v)
+		}
+	}
+	if err := canonicalize(req); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+func canonicalize(req *AllocRequest) error {
+	if len(req.Failed) > maxEdges {
+		return fmt.Errorf("%w: %d failed edges exceeds %d", ErrBadRequest, len(req.Failed), maxEdges)
+	}
+	for _, e := range req.Failed {
+		if e < 0 || e >= maxEdges {
+			return fmt.Errorf("%w: edge id %d out of range", ErrBadRequest, e)
+		}
+	}
+	sort.Ints(req.Failed)
+	out := req.Failed[:0]
+	for i, e := range req.Failed {
+		if i == 0 || e != req.Failed[i-1] {
+			out = append(out, e)
+		}
+	}
+	req.Failed = out
+	return nil
+}
+
+// failedKey canonicalizes a sorted failed-edge list into a map key.
+func failedKey(failed []int) string {
+	if len(failed) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, e := range failed {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(e))
+	}
+	return b.String()
+}
+
+// --- handlers ---
+
+// AllocResponse is the JSON allocation answer. Frac and X carry the exact
+// float64 values te.MaxMin produced (Go's JSON encoding is shortest-form
+// round-trip exact), so two servers loading the same artifact — or the
+// server and a direct library call — produce byte-identical bodies.
+type AllocResponse struct {
+	// Scenario is the matched scenario index.
+	Scenario int `json:"scenario"`
+	// Prob is that scenario's probability.
+	Prob float64 `json:"prob"`
+	// Frac[f] is the fraction of demand allocated to flow f.
+	Frac []float64 `json:"frac"`
+	// X[k][i][t] is the per-tunnel allocation.
+	X [][][]float64 `json:"x"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"ok":true}`)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	st := s.st.load()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"topology":  st.art.TopoName,
+		"version":   ArtifactVersion,
+		"checksum":  st.checksum,
+		"loaded_at": st.loadedAt.UTC().Format(time.RFC3339Nano),
+		"nodes":     st.art.NumNodes,
+		"edges":     len(st.art.Edges),
+		"classes":   len(st.art.Classes),
+		"pairs":     len(st.art.Pairs),
+		"scenarios": len(st.art.Scenarios),
+		"gamma":     st.art.Gamma,
+	})
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+	st := s.st.load()
+	type scen struct {
+		Index  int     `json:"index"`
+		Prob   float64 `json:"prob"`
+		Failed []int   `json:"failed"`
+	}
+	out := make([]scen, len(st.art.Scenarios))
+	for q, sc := range st.art.Scenarios {
+		failed := sc.Failed
+		if failed == nil {
+			failed = []int{}
+		}
+		out[q] = scen{Index: q, Prob: sc.Prob, Failed: failed}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var d obs.ServeMetrics
+	d.Requests = 1
+	defer func() {
+		if c := s.cfg.collector(); c != nil {
+			d.RequestNanos = time.Since(start).Nanoseconds()
+			c.AddServe(d)
+		}
+	}()
+
+	var req *AllocRequest
+	var err error
+	if r.Method == http.MethodPost {
+		body, rerr := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
+		if rerr != nil {
+			d.BadRequests = 1
+			writeError(w, http.StatusBadRequest, "reading body: "+rerr.Error())
+			return
+		}
+		req, err = ParseRequest(body)
+	} else {
+		req, err = ParseQuery(r.URL.Query().Get("failed"))
+	}
+	if err != nil {
+		d.BadRequests = 1
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	st := s.st.load()
+	q, ok := st.scenIndex[failedKey(req.Failed)]
+	if !ok {
+		d.BadRequests = 1
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no enumerated scenario matches failed edges %v", req.Failed))
+		return
+	}
+
+	if body, ok := st.cache.get(q); ok {
+		d.CacheHits = 1
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Flexile-Cache", "hit")
+		w.Write(body)
+		return
+	}
+	d.CacheMisses = 1
+
+	body, cerr, shared := st.flight.Do(q, func() ([]byte, error) {
+		if gerr := s.gate.Enter(r.Context()); gerr != nil {
+			return nil, gerr
+		}
+		defer s.gate.Leave()
+		return computeAlloc(st, q)
+	})
+	if shared {
+		d.FlightShared = 1
+	} else {
+		d.Recomputes = 1
+	}
+	if cerr != nil {
+		writeError(w, http.StatusInternalServerError, cerr.Error())
+		return
+	}
+	if !shared {
+		st.cache.put(q, body)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Flexile-Cache", "miss")
+	w.Write(body)
+}
+
+// computeAlloc runs the online allocation for scenario q and marshals the
+// response once; the cached bytes are served verbatim thereafter, so hits
+// and misses are bit-identical by construction.
+func computeAlloc(st *state, q int) ([]byte, error) {
+	res, err := flexscheme.Online(st.inst, st.off, q, st.opt)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(AllocResponse{
+		Scenario: q,
+		Prob:     st.art.Scenarios[q].Prob,
+		Frac:     res.Frac,
+		X:        res.X,
+	})
+}
+
+// --- allocation cache ---
+
+// lruCache is a size-bounded scenario→response cache. capacity 0 disables
+// it (get always misses, put is a no-op); negative capacity is unbounded.
+type lruCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List
+	items    map[int]*list.Element
+}
+
+type lruEntry struct {
+	key  int
+	body []byte
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{capacity: capacity, ll: list.New(), items: make(map[int]*list.Element)}
+}
+
+func (c *lruCache) get(key int) ([]byte, bool) {
+	if c.capacity == 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+func (c *lruCache) put(key int, body []byte) {
+	if c.capacity == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).body = body
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, body: body})
+	if c.capacity > 0 && c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

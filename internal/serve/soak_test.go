@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+
+	"flexile/internal/faultinject"
+	"flexile/internal/obs"
+	flexscheme "flexile/internal/scheme/flexile"
+)
+
+// TestServeSoakFaultReload hammers the server from several directions at
+// once: querier goroutines sweep every scenario over a loopback listener
+// while a second goroutine cycles SIGHUP reloads (alternating the artifact
+// file between corrupt and valid content) and a seeded fault injector
+// fails or panics inside the load path. The server must keep answering
+// every query with the exact artifact allocation throughout — a failed or
+// faulted reload leaves the previous artifact serving — and the whole run
+// must be clean under -race.
+func TestServeSoakFaultReload(t *testing.T) {
+	path, inst, off, opt := writeArtifact(t)
+	s, err := solvedTriangle()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Faults fire only after the initial load so New is deterministic;
+	// the kinds cover both the error return and the panic-recovery path.
+	var faultsOn atomic.Bool
+	inj := faultinject.New(7, 0.3, faultinject.SingularBasis, faultinject.Panic)
+	collector := obs.New()
+	srv, err := New(path, Config{
+		CacheSize: 4, // smaller than the scenario count: eviction churn under load
+		Obs:       collector,
+		LoadHook: func(attempt int) error {
+			if !faultsOn.Load() {
+				return nil
+			}
+			return inj.Hook(0, attempt)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultsOn.Store(true)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var reloadErrs atomic.Int64
+	stopHUP := srv.WatchHUP(func(error) { reloadErrs.Add(1) })
+	defer stopHUP()
+
+	// Expected body per scenario, precomputed from the library: every
+	// served answer must match bit-for-bit no matter how reloads interleave.
+	expected := make(map[int][]byte, len(inst.Scenarios))
+	urls := make([]string, len(inst.Scenarios))
+	for q, scen := range inst.Scenarios {
+		res, err := flexscheme.Online(inst, off, q, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := json.Marshal(AllocResponse{Scenario: q, Prob: scen.Prob, Frac: res.Frac, X: res.X})
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected[q] = body
+		var parts []string
+		for _, e := range scen.Failed {
+			parts = append(parts, strconv.Itoa(e))
+		}
+		urls[q] = ts.URL + "/v1/alloc?failed=" + strings.Join(parts, ",")
+	}
+
+	const queriers = 4
+	const sweeps = 40
+	var wg sync.WaitGroup
+	for w := 0; w < queriers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < sweeps; i++ {
+				q := (i*queriers + w) % len(urls)
+				resp, err := http.Get(urls[q])
+				if err != nil {
+					t.Errorf("querier %d: %v", w, err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("querier %d: read: %v", w, err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("querier %d scenario %d: status %d: %s", w, q, resp.StatusCode, body)
+					return
+				}
+				if !bytes.Equal(body, expected[q]) {
+					t.Errorf("querier %d scenario %d: body diverged during reload churn", w, q)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Reload cycler: flip the artifact file between corrupt and valid and
+	// SIGHUP after each write. Signals may coalesce — that's fine, the
+	// queriers' bit-identity assertion is what matters.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		corrupt := []byte("definitely not an artifact")
+		for i := 0; i < 20; i++ {
+			content := corrupt
+			if i%2 == 1 {
+				content = s.blob
+			}
+			if err := os.WriteFile(path, content, 0o644); err != nil {
+				t.Errorf("cycler: %v", err)
+				return
+			}
+			if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+				t.Errorf("cycler: SIGHUP: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	stopHUP()
+
+	// Deterministic tail: a corrupt-file reload must fail, then a clean
+	// reload with faults off must restore a fully working server.
+	faultsOn.Store(false)
+	if err := os.WriteFile(path, []byte("corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Reload(); err == nil {
+		t.Fatal("corrupt reload succeeded")
+	}
+	if err := os.WriteFile(path, s.blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Reload(); err != nil {
+		t.Fatalf("final reload: %v", err)
+	}
+	final := get(t, urls[0], "miss")
+	if !bytes.Equal(final, expected[0]) {
+		t.Fatal("post-soak allocation differs")
+	}
+
+	m := collector.Snapshot().Serve
+	if m.Requests != queriers*sweeps+1 || m.BadRequests != 0 {
+		t.Fatalf("request counters = %+v, want %d requests and no bad ones", m, queriers*sweeps+1)
+	}
+	if m.Reloads < 3 || m.ReloadErrors < 1 {
+		t.Fatalf("reload counters = %+v", m)
+	}
+	if m.CacheHits+m.CacheMisses != m.Requests {
+		t.Fatalf("cache counters don't add up: %+v", m)
+	}
+}
