@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race faults obs fuzz golden cover bench bench-json clean
+.PHONY: ci vet build test race faults obs fuzz scrape golden cover bench bench-json clean
 
-ci: vet build race faults obs fuzz cover
+ci: vet build race faults obs fuzz scrape cover
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +38,16 @@ FUZZTIME ?= 15s
 fuzz:
 	$(GO) test -fuzz 'FuzzDecodeArtifact' -fuzztime $(FUZZTIME) -run '^$$' ./internal/serve/
 	$(GO) test -fuzz 'FuzzParseRequest' -fuzztime $(FUZZTIME) -run '^$$' ./internal/serve/
+
+# Live telemetry check (DESIGN.md §11): build the real flexile-serve
+# binary, start it on loopback ports, hammer /v1/alloc a known number of
+# times, then scrape /metrics on both the serving and the -debug-listen
+# admin listeners and assert the page is exposition-grammar conformant
+# with flexile_serve_requests_total equal to the hammer count, the
+# request-latency histogram fully rendered, and go_ runtime families
+# present.
+scrape:
+	$(GO) test -run 'TestScrapeEndToEnd' -count=1 ./cmd/flexile-serve/
 
 # The observability + correctness battery (DESIGN.md §9): obs collector
 # unit tests, the LP property battery (strong duality, complementary

@@ -17,13 +17,21 @@
 // -workers controls the per-topology fan-out (0 = all cores); results are
 // identical for every worker count. -benchjson converts `go test -bench`
 // text output ("-" = stdin) into a BENCH_*.json performance record.
+//
+// Stdout carries exactly the rendered experiment results (plus the
+// -metrics JSON when requested) — byte-identical across runs and safe to
+// redirect into a results file. Progress, timing, and per-topology
+// failure diagnostics are structured log lines on stderr (text by
+// default, JSON with -logjson).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
+	"reflect"
 	"strings"
 	"time"
 
@@ -34,37 +42,53 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate (1,5,6,9,10,11,12,13,14,15,18,gamma,table2,all)")
-	scale := flag.String("scale", "small", "compute scale: tiny, small, paper")
-	seed := flag.Int64("seed", 1, "base seed")
-	runs := flag.Int("runs", 5, "emulation runs for fig 9")
-	topoName := flag.String("topo", "Quest", "topology for -fig gamma")
-	workers := flag.Int("workers", 0, "per-topology fan-out width (0 = all cores, 1 = sequential)")
-	timeout := flag.Duration("timeout", 0, "wall-clock limit per topology sweep, e.g. 10m (0 = unlimited)")
-	artifactOut := flag.String("artifact", "", "solve -topo offline and write a flexile-serve artifact to this file instead of running figures")
-	benchIn := flag.String("benchjson", "", "parse `go test -bench` output from this file (- = stdin) and emit JSON instead of running figures")
-	outPath := flag.String("o", "", "output path for -benchjson (default stdout)")
-	metrics := flag.Bool("metrics", false, "emit the aggregated solver metrics as JSON on stdout after the figures")
-	tracePath := flag.String("trace", "", "write a chrome://tracing timeline of the solves to this file")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "flexile-exp:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole CLI with its streams injected: experiment results go to
+// stdout, diagnostics to stderr. Tests drive it with buffers to pin the
+// stdout bytes.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("flexile-exp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.String("fig", "all", "which figure to regenerate (1,5,6,9,10,11,12,13,14,15,18,gamma,table2,all)")
+	scale := fs.String("scale", "small", "compute scale: tiny, small, paper")
+	seed := fs.Int64("seed", 1, "base seed")
+	runs := fs.Int("runs", 5, "emulation runs for fig 9")
+	topoName := fs.String("topo", "Quest", "topology for -fig gamma")
+	workers := fs.Int("workers", 0, "per-topology fan-out width (0 = all cores, 1 = sequential)")
+	timeout := fs.Duration("timeout", 0, "wall-clock limit per topology sweep, e.g. 10m (0 = unlimited)")
+	artifactOut := fs.String("artifact", "", "solve -topo offline and write a flexile-serve artifact to this file instead of running figures")
+	benchIn := fs.String("benchjson", "", "parse `go test -bench` output from this file (- = stdin) and emit JSON instead of running figures")
+	outPath := fs.String("o", "", "output path for -benchjson (default stdout)")
+	metrics := fs.Bool("metrics", false, "emit the aggregated solver metrics as JSON on stdout after the figures")
+	tracePath := fs.String("trace", "", "write a chrome://tracing timeline of the solves to this file")
+	logJSON := fs.Bool("logjson", false, "emit stderr diagnostics as JSON log lines instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var logger *slog.Logger
+	if *logJSON {
+		logger = slog.New(slog.NewJSONHandler(stderr, nil))
+	} else {
+		logger = slog.New(slog.NewTextHandler(stderr, nil))
+	}
 
 	collector, tracer := installObs(*metrics, *tracePath)
 
 	if *benchIn != "" {
-		if err := emitBenchJSON(*benchIn, *outPath); err != nil {
-			fatal(err)
-		}
-		return
+		return emitBenchJSON(*benchIn, *outPath, stdout, logger)
 	}
 
 	if *artifactOut != "" {
-		if err := exportArtifact(*topoName, *seed, *workers, *timeout, *artifactOut); err != nil {
-			fatal(err)
+		if err := exportArtifact(*topoName, *seed, *workers, *timeout, *artifactOut, logger); err != nil {
+			return err
 		}
-		if err := emitObs(collector, tracer, *metrics, *tracePath); err != nil {
-			fatal(err)
-		}
-		return
+		return emitObs(collector, tracer, *metrics, *tracePath, stdout, logger)
 	}
 
 	var sc experiments.Scale
@@ -76,7 +100,7 @@ func main() {
 	case "paper":
 		sc = experiments.Paper
 	default:
-		fatal(fmt.Errorf("unknown scale %q", *scale))
+		return fmt.Errorf("unknown scale %q", *scale)
 	}
 	cfg := experiments.Config{Scale: sc, Seed: *seed, Workers: *workers, Timeout: *timeout}
 
@@ -113,17 +137,49 @@ func main() {
 		start := time.Now()
 		res, err := j.run()
 		if err != nil {
-			fatal(fmt.Errorf("fig %s: %w", j.key, err))
+			return fmt.Errorf("fig %s: %w", j.key, err)
 		}
-		fmt.Print(res.Render())
-		fmt.Printf("  [%v at %s scale]\n\n", time.Since(start).Round(time.Millisecond), sc)
+		fmt.Fprint(stdout, res.Render())
+		logSweepFailures(logger, j.key, res)
+		logger.Info("figure complete",
+			"fig", j.key,
+			"scale", sc.String(),
+			"elapsed", time.Since(start).Round(time.Millisecond).String())
 		ran++
 	}
 	if ran == 0 {
-		fatal(fmt.Errorf("no figure matched %q", *fig))
+		return fmt.Errorf("no figure matched %q", *fig)
 	}
-	if err := emitObs(collector, tracer, *metrics, *tracePath); err != nil {
-		fatal(err)
+	return emitObs(collector, tracer, *metrics, *tracePath, stdout, logger)
+}
+
+// logSweepFailures surfaces a figure's per-topology failures as structured
+// warnings. The rendered report already lists them (FAILED rows, pinned by
+// the golden tests); this duplicates the same facts where log pipelines
+// can alert on them. Result types that track failures expose a
+// `Failures []experiments.TopoFailure` field, found reflectively so new
+// figures inherit the behavior by following the convention.
+func logSweepFailures(lg *slog.Logger, fig string, res any) {
+	v := reflect.ValueOf(res)
+	for v.Kind() == reflect.Pointer {
+		if v.IsNil() {
+			return
+		}
+		v = v.Elem()
+	}
+	if v.Kind() != reflect.Struct {
+		return
+	}
+	f := v.FieldByName("Failures")
+	if !f.IsValid() {
+		return
+	}
+	fails, ok := f.Interface().([]experiments.TopoFailure)
+	if !ok {
+		return
+	}
+	for _, tf := range fails {
+		lg.Warn("topology failed during sweep", "fig", fig, "topology", tf.Topology, "error", tf.Err)
 	}
 }
 
@@ -145,9 +201,9 @@ func installObs(metrics bool, tracePath string) (*obs.Collector, *obs.Tracer) {
 }
 
 // emitObs writes the requested metrics JSON (stdout) and trace file.
-func emitObs(collector *obs.Collector, tracer *obs.Tracer, metrics bool, tracePath string) error {
+func emitObs(collector *obs.Collector, tracer *obs.Tracer, metrics bool, tracePath string, stdout io.Writer, lg *slog.Logger) error {
 	if metrics {
-		fmt.Printf("%s\n", collector.Snapshot().JSON())
+		fmt.Fprintf(stdout, "%s\n", collector.Snapshot().JSON())
 	}
 	if tracePath != "" {
 		f, err := os.Create(tracePath)
@@ -158,7 +214,7 @@ func emitObs(collector *obs.Collector, tracer *obs.Tracer, metrics bool, tracePa
 		if err := tracer.WriteJSON(f); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote trace to %s\n", tracePath)
+		lg.Info("wrote trace", "path", tracePath)
 	}
 	return nil
 }
@@ -166,7 +222,7 @@ func emitObs(collector *obs.Collector, tracer *obs.Tracer, metrics bool, tracePa
 // exportArtifact runs the offline pipeline on one topology (single class,
 // gravity traffic, enumerated failures — the §6 methodology) and writes
 // the serving artifact flexile-serve loads.
-func exportArtifact(topoName string, seed int64, workers int, timeout time.Duration, out string) error {
+func exportArtifact(topoName string, seed int64, workers int, timeout time.Duration, out string, lg *slog.Logger) error {
 	tp, err := flexile.LoadTopology(topoName)
 	if err != nil {
 		return err
@@ -189,14 +245,17 @@ func exportArtifact(topoName string, seed int64, workers int, timeout time.Durat
 	if err := os.WriteFile(out, blob, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote serving artifact for %s (%d scenarios, %d bytes) to %s\n",
-		tp.Name, len(inst.Scenarios), len(blob), out)
+	lg.Info("wrote serving artifact",
+		"topology", tp.Name,
+		"scenarios", len(inst.Scenarios),
+		"bytes", len(blob),
+		"path", out)
 	return nil
 }
 
 // emitBenchJSON parses `go test -bench` text output and writes the
 // BENCH_*.json performance record.
-func emitBenchJSON(in, out string) error {
+func emitBenchJSON(in, out string, stdout io.Writer, lg *slog.Logger) error {
 	var r io.Reader = os.Stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -210,7 +269,7 @@ func emitBenchJSON(in, out string) error {
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
+	var w io.Writer = stdout
 	if out != "" {
 		f, err := os.Create(out)
 		if err != nil {
@@ -223,12 +282,7 @@ func emitBenchJSON(in, out string) error {
 		return err
 	}
 	if out != "" {
-		fmt.Printf("wrote %d benchmark records to %s\n", len(rep.Results), out)
+		lg.Info("wrote benchmark records", "count", len(rep.Results), "path", out)
 	}
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "flexile-exp:", err)
-	os.Exit(1)
 }

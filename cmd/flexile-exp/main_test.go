@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"flexile/internal/experiments"
+)
+
+// TestStdoutIsExactlyTheRenderedResults pins the stream contract: stdout
+// carries the rendered experiment results and nothing else — progress and
+// timing lines live on stderr — so redirecting stdout yields a stable
+// results file.
+func TestStdoutIsExactlyTheRenderedResults(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-fig", "table2"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	want := experiments.Table2().Render()
+	if stdout.String() != want {
+		t.Fatalf("stdout diverged from Table2().Render():\n got: %q\nwant: %q", stdout.String(), want)
+	}
+	if !strings.Contains(stderr.String(), "figure complete") {
+		t.Fatalf("stderr missing progress line:\n%s", stderr.String())
+	}
+	if strings.Contains(stdout.String(), "figure complete") {
+		t.Fatal("progress line leaked onto stdout")
+	}
+}
+
+func TestLogJSONEmitsParseableRecords(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-fig", "table2", "-logjson"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if stdout.String() != experiments.Table2().Render() {
+		t.Fatal("-logjson changed stdout")
+	}
+	sawComplete := false
+	for _, line := range strings.Split(strings.TrimSpace(stderr.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("stderr line is not JSON: %q (%v)", line, err)
+		}
+		if rec["msg"] == "figure complete" {
+			sawComplete = true
+			if rec["fig"] != "table2" || rec["scale"] != "small" {
+				t.Fatalf("progress record incomplete: %v", rec)
+			}
+		}
+	}
+	if !sawComplete {
+		t.Fatalf("no figure-complete record in stderr:\n%s", stderr.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-fig", "nope"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if err := run([]string{"-scale", "galactic"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+	if err := run([]string{"-not-a-flag"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -9,10 +9,18 @@
 //	flexile-serve -artifact ibm.flxa -listen :8080
 //	curl 'localhost:8080/v1/alloc?failed=3'
 //	curl -d '{"failed":[3,7]}' localhost:8080/v1/alloc
+//	curl localhost:8080/metrics        # Prometheus exposition
+//	curl localhost:8080/readyz         # readiness (503 during reloads)
 //
 // SIGHUP reloads the artifact atomically (a failed reload keeps the old
 // one serving); SIGINT/SIGTERM drain in-flight requests and exit. With
 // -metrics the aggregated serving counters are printed as JSON on exit.
+//
+// Logs are structured (log/slog): human-readable text on stderr by
+// default, one JSON object per line with -logjson. Access records can be
+// sampled with -log-sample. With -debug-listen a second, admin-only
+// listener additionally serves /metrics and net/http/pprof — bind it to
+// loopback or an operations network, never the query-facing address.
 package main
 
 import (
@@ -20,7 +28,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,37 +43,43 @@ import (
 func main() {
 	artifact := flag.String("artifact", "", "serving artifact file (required; see flexile -artifact)")
 	listen := flag.String("listen", "127.0.0.1:8080", "listen address")
+	debugListen := flag.String("debug-listen", "", "optional admin listener serving /metrics and /debug/pprof (keep it private)")
 	cacheSize := flag.Int("cache-size", 1024, "allocation cache entries (0 disables, negative = unbounded)")
 	workers := flag.Int("workers", 0, "concurrent recomputation bound (0 = all cores)")
 	metrics := flag.Bool("metrics", false, "emit the aggregated serving metrics as JSON on stdout at exit")
 	tracePath := flag.String("trace", "", "write a chrome://tracing timeline to this file at exit")
+	logSample := flag.Int("log-sample", 1, "log one access record per N requests (1 = every request)")
+	logJSON := flag.Bool("logjson", false, "emit logs as JSON instead of text")
 	flag.Parse()
 	if *artifact == "" {
 		fatal(errors.New("-artifact is required"))
 	}
 
-	var collector *obs.Collector
+	logger := newLogger(*logJSON)
+
+	// The collector always runs: /metrics needs live counters whether or
+	// not the exit-time JSON dump was requested.
+	collector := obs.New()
 	var tracer *obs.Tracer
-	if *metrics || *tracePath != "" {
-		collector = obs.New()
-		if *tracePath != "" {
-			tracer = obs.NewTracer()
-			collector.AttachTracer(tracer)
-		}
-		obs.SetGlobal(collector)
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+		collector.AttachTracer(tracer)
 	}
+	obs.SetGlobal(collector)
 
 	srv, err := serve.New(*artifact, serve.Config{
 		CacheSize: *cacheSize,
 		Workers:   *workers,
 		Obs:       collector,
+		Log:       logger,
+		LogEvery:  *logSample,
 	})
 	if err != nil {
 		fatal(err)
 	}
 
 	stopHUP := srv.WatchHUP(func(err error) {
-		fmt.Fprintln(os.Stderr, "flexile-serve: reload failed, keeping previous artifact:", err)
+		logger.Error("reload failed, keeping previous artifact", "error", err.Error())
 	})
 	defer stopHUP()
 
@@ -73,20 +89,47 @@ func main() {
 	hs := &http.Server{Addr: *listen, Handler: srv}
 	done := make(chan error, 1)
 	go func() { done <- hs.ListenAndServe() }()
-	fmt.Printf("flexile-serve: serving %s on %s (cache %d, reload with SIGHUP)\n", *artifact, *listen, *cacheSize)
+	logger.Info("serving",
+		"artifact", *artifact,
+		"listen", *listen,
+		"cache_size", *cacheSize,
+		"workers", *workers)
+
+	var admin *http.Server
+	if *debugListen != "" {
+		adminMux := http.NewServeMux()
+		adminMux.Handle("GET /metrics", srv.MetricsHandler())
+		adminMux.HandleFunc("/debug/pprof/", pprof.Index)
+		adminMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		adminMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		adminMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		adminMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		admin = &http.Server{Addr: *debugListen, Handler: adminMux}
+		go func() {
+			if aerr := admin.ListenAndServe(); aerr != nil && !errors.Is(aerr, http.ErrServerClosed) {
+				logger.Error("admin listener failed", "error", aerr.Error())
+			}
+		}()
+		logger.Info("admin listener up", "listen", *debugListen, "endpoints", "/metrics /debug/pprof")
+	}
 
 	select {
 	case <-ctx.Done():
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutCtx); err != nil {
-			fmt.Fprintln(os.Stderr, "flexile-serve: shutdown:", err)
+			logger.Error("shutdown", "error", err.Error())
 		}
 		<-done // ListenAndServe has returned http.ErrServerClosed
 	case err := <-done:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)
 		}
+	}
+	if admin != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		admin.Shutdown(shutCtx)
+		cancel()
 	}
 
 	if *metrics {
@@ -104,8 +147,17 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote trace to %s\n", *tracePath)
+		logger.Info("wrote trace", "path", *tracePath)
 	}
+}
+
+// newLogger builds the process logger: slog text on stderr, or JSON lines
+// with jsonOut.
+func newLogger(jsonOut bool) *slog.Logger {
+	if jsonOut {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }
 
 func fatal(err error) {

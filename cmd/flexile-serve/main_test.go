@@ -1,0 +1,232 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"flexile/internal/obs/expo"
+	flexscheme "flexile/internal/scheme/flexile"
+	"flexile/internal/serve"
+	"flexile/internal/te"
+
+	"flexile/internal/failure"
+	"flexile/internal/topo"
+	"flexile/internal/tunnels"
+)
+
+// buildArtifact solves the triangle fixture and writes a serving artifact.
+func buildArtifact(t *testing.T) string {
+	t.Helper()
+	tp := topo.Triangle()
+	inst := te.NewInstance(tp, []te.Class{
+		{Name: "single", Beta: 0.99, Weight: 1, Tunnels: tunnels.SingleClass(3)},
+	})
+	inst.Demand[0][0] = 1
+	inst.Demand[0][1] = 1
+	inst.LinkProbs = []float64{0.01, 0.01, 0.01}
+	inst.Scenarios = failure.Enumerate(inst.LinkProbs, 0)
+	opt := flexscheme.Options{Workers: 2}
+	off, err := flexscheme.Offline(inst, opt)
+	if err != nil {
+		t.Fatalf("offline solve: %v", err)
+	}
+	art, err := serve.Build(inst, off, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "triangle.flxa")
+	if err := os.WriteFile(path, art.Encode(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// freePort reserves an ephemeral port and releases it for the daemon.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestScrapeEndToEnd is the `make scrape` CI check run against the real
+// binary: build flexile-serve, start it on a loopback port, wait for
+// /readyz, hammer /v1/alloc a known number of times, then scrape /metrics
+// on both the serving and the -debug-listen admin ports and assert the
+// page is grammar-conformant with flexile_serve_requests_total equal to
+// the hammer count, the request-latency histogram fully rendered, and Go
+// runtime telemetry present.
+func TestScrapeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := filepath.Join(t.TempDir(), "flexile-serve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	artifact := buildArtifact(t)
+	addr, adminAddr := freePort(t), freePort(t)
+	cmd := exec.Command(bin,
+		"-artifact", artifact,
+		"-listen", addr,
+		"-debug-listen", adminAddr,
+		"-logjson",
+		"-log-sample", "2",
+	)
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		cmd.Wait()
+	}()
+
+	base := "http://" + addr
+	waitReady(t, base+"/readyz")
+
+	const hammer = 24
+	for i := 0; i < hammer; i++ {
+		url := base + "/v1/alloc?failed=0"
+		if i%3 == 0 {
+			url = base + "/v1/alloc?failed="
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("alloc %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	for _, scrapeURL := range []string{base + "/metrics", "http://" + adminAddr + "/metrics"} {
+		resp, err := http.Get(scrapeURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		page, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("scrape %s: status %d", scrapeURL, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != expo.ContentType {
+			t.Fatalf("scrape %s: Content-Type %q", scrapeURL, ct)
+		}
+		if err := expo.Lint(page); err != nil {
+			t.Fatalf("scrape %s not grammar-conformant: %v", scrapeURL, err)
+		}
+		text := string(page)
+		want := fmt.Sprintf("flexile_serve_requests_total %d", hammer)
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape %s missing %q", scrapeURL, want)
+		}
+		if n := strings.Count(text, "flexile_serve_request_duration_seconds_bucket{le="); n < 9 {
+			t.Errorf("scrape %s: only %d latency bucket lines, want >= 9 (8 finite + +Inf)", scrapeURL, n)
+		}
+		if !strings.Contains(text, `flexile_serve_request_duration_seconds_bucket{le="+Inf"}`) {
+			t.Errorf("scrape %s missing +Inf bucket", scrapeURL)
+		}
+		goFam := 0
+		for _, line := range strings.Split(text, "\n") {
+			if strings.HasPrefix(line, "# TYPE go_") {
+				goFam++
+			}
+		}
+		if goFam < 5 {
+			t.Errorf("scrape %s: only %d go_ runtime families, want >= 5", scrapeURL, goFam)
+		}
+	}
+
+	// pprof is mounted on the admin listener only.
+	resp, err := http.Get("http://" + adminAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin pprof: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof reachable on the query-facing listener")
+	}
+
+	// Shut down and check the structured log stream: JSON lines, sampled
+	// access records (half of the hammer), and the lifecycle events.
+	cmd.Process.Signal(syscall.SIGTERM)
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit: %v\nstderr:\n%s", err, stderr.String())
+	}
+	var accessRecords int
+	sawLoaded, sawServing := false, false
+	for _, line := range strings.Split(strings.TrimSpace(stderr.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("stderr line is not JSON: %q (%v)", line, err)
+		}
+		switch rec["msg"] {
+		case "request":
+			if p, _ := rec["path"].(string); p == "/v1/alloc" {
+				accessRecords++
+			}
+		case "artifact loaded":
+			sawLoaded = true
+		case "serving":
+			sawServing = true
+		}
+	}
+	if !sawLoaded || !sawServing {
+		t.Errorf("missing lifecycle events (loaded=%v serving=%v):\n%s", sawLoaded, sawServing, stderr.String())
+	}
+	if accessRecords != hammer/2 {
+		t.Errorf("-log-sample 2 produced %d access records for %d requests, want %d",
+			accessRecords, hammer, hammer/2)
+	}
+}
+
+// waitReady polls a readiness URL until it answers 200 or times out.
+func waitReady(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("server never became ready at %s", url)
+}

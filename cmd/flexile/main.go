@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -39,7 +40,18 @@ func main() {
 	artifactPath := flag.String("artifact", "", "write the serving artifact (for flexile-serve) to this file after the offline solve")
 	metrics := flag.Bool("metrics", false, "emit the aggregated solver metrics as JSON on stdout at the end")
 	tracePath := flag.String("trace", "", "write a chrome://tracing timeline of the solves to this file")
+	logJSON := flag.Bool("logjson", false, "emit diagnostics on stderr as JSON log lines instead of text")
 	flag.Parse()
+
+	// Result tables keep going to stdout; diagnostics (degraded-mode
+	// transitions, artifact/trace writes) are structured log events on
+	// stderr so scripted pipelines can separate the two streams.
+	var logger *slog.Logger
+	if *logJSON {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	} else {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 
 	// Wire the process-global collector/tracer; every solve in the pipeline
 	// picks them up through the context fallback.
@@ -99,9 +111,11 @@ func main() {
 	fmt.Printf("offline: %d iterations, %d subproblem LPs, %v\n",
 		design.Iterations, design.SubproblemSolves, design.Elapsed.Round(time.Millisecond))
 	if design.Report.Degraded() {
-		fmt.Printf("offline degraded mode: %d retried, %d skipped scenario solves, %d loss-precompute fallbacks, %d master failures\n",
-			len(design.Report.Retried), len(design.Report.Skipped),
-			len(design.Report.ScenLossFallback), len(design.Report.MasterFailures))
+		logger.Warn("offline solve entered degraded mode",
+			"retried", len(design.Report.Retried),
+			"skipped", len(design.Report.Skipped),
+			"loss_precompute_fallbacks", len(design.Report.ScenLossFallback),
+			"master_failures", len(design.Report.MasterFailures))
 	}
 	for it, pls := range design.IterPercLoss {
 		fmt.Printf("  iteration %d:", it+1)
@@ -121,7 +135,7 @@ func main() {
 		if err := os.WriteFile(*artifactPath, blob, 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote serving artifact (%d bytes) to %s\n", len(blob), *artifactPath)
+		logger.Info("wrote serving artifact", "path", *artifactPath, "bytes", len(blob))
 	}
 
 	var routing *flexile.Routing
@@ -180,7 +194,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote trace to %s\n", *tracePath)
+		logger.Info("wrote trace", "path", *tracePath)
 	}
 }
 

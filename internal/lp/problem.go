@@ -269,7 +269,9 @@ func (p *Problem) SolveCtx(ctx context.Context, opts Options) (*Solution, error)
 	}
 	sol, err := s.solve()
 	if col != nil {
-		col.AddLP(s.metrics(sol, err, time.Since(start)))
+		elapsed := time.Since(start)
+		col.AddLP(s.metrics(sol, err, elapsed))
+		col.ObserveLatency(obs.LatLPSolve, elapsed)
 	}
 	return sol, err
 }

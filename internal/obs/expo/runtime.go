@@ -1,0 +1,122 @@
+package expo
+
+import (
+	"math"
+	"runtime/metrics"
+	"sort"
+	"strings"
+)
+
+// EncodeRuntime renders the Go runtime's own telemetry (runtime/metrics)
+// as go_-prefixed families: heap and memory-class gauges, GC counters and
+// pause-time histograms, goroutine counts, and scheduler latency. Metric
+// names are converted mechanically — "/sched/goroutines:goroutines"
+// becomes go_sched_goroutines — so the set tracks whatever the running Go
+// version exports; kinds the encoder cannot represent are skipped.
+func EncodeRuntime(e *Encoder) {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+
+	kind := make(map[string]metrics.ValueKind, len(descs))
+	cumulative := make(map[string]bool, len(descs))
+	help := make(map[string]string, len(descs))
+	for _, d := range descs {
+		kind[d.Name] = d.Kind
+		cumulative[d.Name] = d.Cumulative
+		help[d.Name] = d.Description
+	}
+
+	// Render in a deterministic order under stable names; a collision after
+	// sanitization (none exist today) would trip the encoder's duplicate-
+	// family latch, so dedupe defensively.
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Name < samples[j].Name })
+	seen := make(map[string]bool, len(samples))
+	for _, s := range samples {
+		name := runtimeName(s.Name)
+		if !validName(name) || seen[name] {
+			continue
+		}
+		seen[name] = true
+		h := strings.ReplaceAll(help[s.Name], "\n", " ")
+		switch kind[s.Name] {
+		case metrics.KindUint64:
+			if cumulative[s.Name] {
+				e.Counter(name+"_total", h, float64(s.Value.Uint64()))
+			} else {
+				e.Gauge(name, h, float64(s.Value.Uint64()))
+			}
+		case metrics.KindFloat64:
+			if cumulative[s.Name] {
+				e.Counter(name+"_total", h, s.Value.Float64())
+			} else {
+				e.Gauge(name, h, s.Value.Float64())
+			}
+		case metrics.KindFloat64Histogram:
+			fh := s.Value.Float64Histogram()
+			if fh == nil || len(fh.Buckets) != len(fh.Counts)+1 {
+				continue
+			}
+			e.runtimeHistogram(name, h, fh)
+		}
+	}
+}
+
+// runtimeHistogram renders a runtime/metrics Float64Histogram. These carry
+// hundreds of fine-grained buckets, so interior zero-count buckets are
+// collapsed (cumulative counts stay monotone without them); the runtime
+// does not track a sum, rendered as the NaN the format reserves for
+// "unknown".
+func (e *Encoder) runtimeHistogram(name, help string, fh *metrics.Float64Histogram) {
+	if !e.header(name, help, "histogram") {
+		return
+	}
+	var cum, total uint64
+	for _, c := range fh.Counts {
+		total += c
+	}
+	for i, c := range fh.Counts {
+		cum += c
+		le := fh.Buckets[i+1]
+		if math.IsInf(le, 1) {
+			break // folded into the +Inf bucket below
+		}
+		if c == 0 {
+			continue
+		}
+		e.sample(name+"_bucket", []Label{{"le", formatValue(le)}}, float64(cum))
+	}
+	e.sample(name+"_bucket", []Label{{"le", "+Inf"}}, float64(total))
+	e.sample(name+"_sum", nil, math.NaN())
+	e.sample(name+"_count", nil, float64(total))
+}
+
+// runtimeName converts a runtime/metrics name ("/memory/classes/heap/
+// objects:bytes") into a Prometheus metric name (go_memory_classes_heap_
+// objects_bytes): strip the leading slash, split off the unit, and replace
+// every non-alphanumeric rune with an underscore.
+func runtimeName(name string) string {
+	base, unit, _ := strings.Cut(strings.TrimPrefix(name, "/"), ":")
+	sanitize := func(s string) string {
+		var b strings.Builder
+		for _, r := range s {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+				b.WriteRune(r)
+			case r == '/', r == '-', r == '_':
+				b.WriteByte('_')
+			}
+		}
+		return b.String()
+	}
+	base, unit = sanitize(base), sanitize(unit)
+	// Drop a unit that merely repeats the base's tail
+	// ("sched/goroutines:goroutines" -> go_sched_goroutines).
+	if unit == "" || strings.HasSuffix(base, unit) {
+		return "go_" + base
+	}
+	return "go_" + base + "_" + unit
+}

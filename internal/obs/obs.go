@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // LPMetrics aggregates simplex solve counters. All fields except SolveNanos
@@ -147,8 +148,10 @@ type PoolMetrics struct {
 }
 
 // ServeMetrics aggregates the online allocation server's counters
-// (internal/serve, the flexile-serve daemon). All fields except
-// RequestNanos are deterministic given the request/reload sequence.
+// (internal/serve, the flexile-serve daemon). Every field is
+// deterministic given the request/reload sequence except GateWaits,
+// which depends on scheduling; request latency lives in the
+// Latency.ServeRequest histogram, not here.
 type ServeMetrics struct {
 	// Requests counts allocation queries accepted by the HTTP layer
 	// (including ones that fail validation); BadRequests of those were
@@ -166,25 +169,53 @@ type ServeMetrics struct {
 	// error-free run.
 	Recomputes   int64 `json:"recomputes"`
 	FlightShared int64 `json:"flight_shared"`
-	// Reloads counts successful artifact (re)loads — the initial load plus
-	// every SIGHUP swap; ReloadErrors counts loads that failed and left the
-	// previous artifact serving.
+	// Reloads counts artifact (re)load attempts — the initial load plus
+	// every SIGHUP-triggered one; ReloadErrors counts the attempts that
+	// failed and left the previous artifact serving, so successful swaps
+	// are Reloads - ReloadErrors.
 	Reloads      int64 `json:"reloads"`
 	ReloadErrors int64 `json:"reload_errors"`
-	// RequestNanos is total wall-clock time inside the allocation handler.
-	// Scheduling-dependent: zeroed by Canonical().
-	RequestNanos int64 `json:"request_ns"`
+	// GateWaits counts recomputations that found the recompute gate
+	// saturated and had to queue for a slot — the serving layer's
+	// overload signal.
+	GateWaits int64 `json:"gate_waits"`
+}
+
+// LatencyID names one of the collector's built-in latency histograms.
+type LatencyID int
+
+const (
+	// LatLPSolve is the per-LP wall-clock solve time (every SolveCtx).
+	LatLPSolve LatencyID = iota
+	// LatScenarioSolve is the per-scenario Benders subproblem wall time
+	// (attempts included), the distribution behind DecompMetrics totals.
+	LatScenarioSolve
+	// LatServeRequest is the allocation server's per-request handler time
+	// (the p50/p99/p99.9 the serving layer is judged on).
+	LatServeRequest
+
+	numLatencies
+)
+
+// LatencyMetrics is the snapshot of every built-in latency histogram. All
+// of it is wall-clock and therefore scheduling-dependent: Canonical()
+// strips it entirely.
+type LatencyMetrics struct {
+	LPSolve       HistSnapshot `json:"lp_solve"`
+	ScenarioSolve HistSnapshot `json:"scenario_solve"`
+	ServeRequest  HistSnapshot `json:"serve_request"`
 }
 
 // SolveMetrics is one solve's (or one process's) aggregated observability
 // snapshot, attached to flexile's SolveReport and emitted as JSON by the
 // CLIs' -metrics flag.
 type SolveMetrics struct {
-	LP     LPMetrics     `json:"lp"`
-	MIP    MIPMetrics    `json:"mip"`
-	Decomp DecompMetrics `json:"decomposition"`
-	Pool   PoolMetrics   `json:"pool"`
-	Serve  ServeMetrics  `json:"serve"`
+	LP      LPMetrics      `json:"lp"`
+	MIP     MIPMetrics     `json:"mip"`
+	Decomp  DecompMetrics  `json:"decomposition"`
+	Pool    PoolMetrics    `json:"pool"`
+	Serve   ServeMetrics   `json:"serve"`
+	Latency LatencyMetrics `json:"latency"`
 }
 
 // Canonical returns the deterministic portion of the snapshot: wall-clock
@@ -197,7 +228,7 @@ func (m SolveMetrics) Canonical() SolveMetrics {
 	m.Pool.MaxWorkers = 0
 	m.Pool.WorkerItems = nil
 	m.Pool.BusyNanos = 0
-	m.Serve.RequestNanos = 0
+	m.Latency = LatencyMetrics{}
 	return m
 }
 
@@ -219,6 +250,10 @@ type Collector struct {
 	tracer *Tracer
 
 	m SolveMetrics // int64 fields mutated with sync/atomic only
+
+	// hists are the built-in latency histograms, indexed by LatencyID.
+	// Observations propagate up the parent chain like counter adds.
+	hists [numLatencies]Histogram
 
 	poolMu      sync.Mutex
 	workerItems []int64
@@ -327,8 +362,36 @@ func (c *Collector) AddServe(d ServeMetrics) {
 		atomic.AddInt64(&m.FlightShared, d.FlightShared)
 		atomic.AddInt64(&m.Reloads, d.Reloads)
 		atomic.AddInt64(&m.ReloadErrors, d.ReloadErrors)
-		atomic.AddInt64(&m.RequestNanos, d.RequestNanos)
+		atomic.AddInt64(&m.GateWaits, d.GateWaits)
 	}
+}
+
+// ObserveLatency records one duration into the latency histogram named by
+// id, propagating up the parent chain like every other add. A nil receiver
+// or out-of-range id is a no-op.
+func (c *Collector) ObserveLatency(id LatencyID, d time.Duration) {
+	if id < 0 || id >= numLatencies {
+		return
+	}
+	for ; c != nil; c = c.parent {
+		c.hists[id].Observe(d.Nanoseconds())
+	}
+}
+
+// ObserveSince records time elapsed since start into the id'd histogram —
+// the deferred form: `defer col.ObserveSince(obs.LatScenarioSolve,
+// time.Now())` times the enclosing function.
+func (c *Collector) ObserveSince(id LatencyID, start time.Time) {
+	c.ObserveLatency(id, time.Since(start))
+}
+
+// LatencySnapshot returns a self-consistent snapshot of one latency
+// histogram (see Histogram.Snapshot for the consistency contract).
+func (c *Collector) LatencySnapshot(id LatencyID) HistSnapshot {
+	if c == nil || id < 0 || id >= numLatencies {
+		return HistSnapshot{}
+	}
+	return c.hists[id].Snapshot()
 }
 
 // PoolLaunch records one pool invocation of the given width.
@@ -418,7 +481,10 @@ func (c *Collector) Snapshot() SolveMetrics {
 	sd.FlightShared = atomic.LoadInt64(&ss.FlightShared)
 	sd.Reloads = atomic.LoadInt64(&ss.Reloads)
 	sd.ReloadErrors = atomic.LoadInt64(&ss.ReloadErrors)
-	sd.RequestNanos = atomic.LoadInt64(&ss.RequestNanos)
+	sd.GateWaits = atomic.LoadInt64(&ss.GateWaits)
+	out.Latency.LPSolve = c.hists[LatLPSolve].Snapshot()
+	out.Latency.ScenarioSolve = c.hists[LatScenarioSolve].Snapshot()
+	out.Latency.ServeRequest = c.hists[LatServeRequest].Snapshot()
 	c.poolMu.Lock()
 	if len(c.workerItems) > 0 {
 		pd.WorkerItems = append([]int64(nil), c.workerItems...)

@@ -26,6 +26,14 @@ type flightCall[V any] struct {
 	err  error
 }
 
+// InFlight reports how many distinct keys currently have a call executing —
+// a point-in-time gauge for the serving layer's introspection endpoints.
+func (f *Flight[K, V]) InFlight() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.m)
+}
+
 // Do executes fn under key, coalescing with any in-flight call for the same
 // key. It returns fn's result and whether this caller shared another call's
 // execution (true) or ran fn itself (false).
@@ -86,5 +94,23 @@ func (g *Gate) Enter(ctx context.Context) error {
 	}
 }
 
-// Leave releases a slot acquired by Enter.
+// TryEnter acquires a slot without blocking, reporting whether it
+// succeeded. Callers that fall back to Enter after a failed TryEnter can
+// count how often the gate actually made them queue.
+func (g *Gate) TryEnter() bool {
+	select {
+	case g.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Leave releases a slot acquired by Enter or a successful TryEnter.
 func (g *Gate) Leave() { <-g.slots }
+
+// InUse reports how many slots are currently held.
+func (g *Gate) InUse() int { return len(g.slots) }
+
+// Cap reports the gate's total slot count.
+func (g *Gate) Cap() int { return cap(g.slots) }

@@ -172,3 +172,58 @@ func TestGateEnterCancelled(t *testing.T) {
 		t.Fatalf("Enter with nil ctx after Leave: %v", err)
 	}
 }
+
+func TestGateIntrospection(t *testing.T) {
+	g := NewGate(2)
+	if g.Cap() != 2 || g.InUse() != 0 {
+		t.Fatalf("fresh gate: cap %d in-use %d", g.Cap(), g.InUse())
+	}
+	if !g.TryEnter() {
+		t.Fatal("TryEnter on empty gate failed")
+	}
+	if !g.TryEnter() {
+		t.Fatal("second TryEnter failed")
+	}
+	if g.InUse() != 2 {
+		t.Fatalf("InUse = %d, want 2", g.InUse())
+	}
+	if g.TryEnter() {
+		t.Fatal("TryEnter on full gate succeeded")
+	}
+	g.Leave()
+	if g.InUse() != 1 {
+		t.Fatalf("InUse after Leave = %d, want 1", g.InUse())
+	}
+	if !g.TryEnter() {
+		t.Fatal("TryEnter after Leave failed")
+	}
+	g.Leave()
+	g.Leave()
+}
+
+func TestFlightInFlight(t *testing.T) {
+	var f Flight[int, int]
+	if f.InFlight() != 0 {
+		t.Fatalf("fresh flight InFlight = %d", f.InFlight())
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f.Do(1, func() (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-started
+	if f.InFlight() != 1 {
+		t.Fatalf("InFlight during call = %d, want 1", f.InFlight())
+	}
+	close(release)
+	<-done
+	if f.InFlight() != 0 {
+		t.Fatalf("InFlight after call = %d, want 0", f.InFlight())
+	}
+}

@@ -65,6 +65,17 @@ func TestMetricsDeterministicAcrossWorkers(t *testing.T) {
 			if bm.LP.SolveNanos == 0 {
 				t.Fatalf("LP.SolveNanos not recorded")
 			}
+			// The per-solve latency distributions observed the run too: one
+			// LP-solve observation per started simplex that got past
+			// construction, one scenario-solve observation per subproblem
+			// work item.
+			if lat := bm.Latency.LPSolve; lat.Count == 0 || lat.Sum == 0 || int64(lat.Count) > bm.LP.Solves {
+				t.Fatalf("LP latency histogram inconsistent: %+v vs %d solves", lat, bm.LP.Solves)
+			}
+			if lat := bm.Latency.ScenarioSolve; lat.Count == 0 || int64(lat.Count) < bm.Decomp.ScenarioSolves {
+				t.Fatalf("scenario latency histogram inconsistent: %+v vs %d scenario solves",
+					lat, bm.Decomp.ScenarioSolves)
+			}
 
 			for _, workers := range []int{2, 8} {
 				opt.Workers = workers

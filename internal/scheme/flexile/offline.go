@@ -474,6 +474,7 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 		itemErrs := par.Collect(ctx, opt.Workers, len(pending), func(worker, j int) error {
 			q := pending[j]
 			defer col.Span("scenario-solve", int64(worker)+1, "scenario", q, "iteration", iter)()
+			defer col.ObserveSince(obs.LatScenarioSolve, time.Now())
 			var ub []float64
 			if lossUB != nil {
 				ub = lossUB[q]

@@ -74,12 +74,21 @@ func TestEndToEndBitIdentical(t *testing.T) {
 		t.Fatal("cache-disabled server is not deterministic across repeats")
 	}
 
-	s := collector.Snapshot().Serve
+	snap := collector.Snapshot()
+	s := snap.Serve
 	if s.CacheHits == 0 || s.CacheMisses == 0 || s.Requests != s.CacheHits+s.CacheMisses {
 		t.Fatalf("cache counters inconsistent: %+v", s)
 	}
-	if s.RequestNanos <= 0 {
-		t.Fatalf("request latency not recorded: %+v", s)
+	lat := snap.Latency.ServeRequest
+	if lat.Count != uint64(s.Requests) || lat.Sum <= 0 {
+		t.Fatalf("request latency histogram inconsistent with counters: %+v vs %+v", lat, s)
+	}
+	var inBuckets uint64
+	for _, b := range lat.Buckets {
+		inBuckets += b
+	}
+	if inBuckets != lat.Count {
+		t.Fatalf("latency buckets sum %d != count %d", inBuckets, lat.Count)
 	}
 }
 

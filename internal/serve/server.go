@@ -2,10 +2,14 @@ package serve
 
 import (
 	"container/list"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -13,10 +17,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"flexile/internal/obs"
+	"flexile/internal/obs/expo"
 	"flexile/internal/par"
 	flexscheme "flexile/internal/scheme/flexile"
 	"flexile/internal/te"
@@ -43,6 +49,14 @@ type Config struct {
 	// fails the load; tests use it with internal/faultinject to exercise
 	// the reload-failure path.
 	LoadHook func(attempt int) error
+	// Log receives structured access records (one per request, sampled by
+	// LogEvery) and lifecycle events (artifact loads, reload failures, gate
+	// saturation). Nil disables logging entirely — the request hot path
+	// then takes no logging branches at all.
+	Log *slog.Logger
+	// LogEvery samples access records: n > 1 logs one request in every n.
+	// 0 and 1 log every request. Lifecycle events are never sampled.
+	LogEvery int
 }
 
 func (c Config) collector() *obs.Collector {
@@ -77,9 +91,11 @@ type Server struct {
 	mux  *http.ServeMux
 	gate *par.Gate
 
-	reloadMu sync.Mutex // serializes Reload (attempt numbering + swap order)
-	attempts int
-	st       atomicState
+	reloadMu  sync.Mutex // serializes Reload (attempt numbering + swap order)
+	attempts  int
+	reloading atomic.Bool // true while a (re)load is decoding — /readyz says 503
+	logSeq    atomic.Int64
+	st        atomicState
 }
 
 // atomicState is a tiny wrapper so Server needs no generics import just
@@ -107,6 +123,8 @@ func New(path string, cfg Config) (*Server, error) {
 	s := &Server{cfg: cfg, path: path, gate: par.NewGate(cfg.Workers)}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("GET /v1/alloc", s.handleAlloc)
@@ -117,8 +135,88 @@ func New(path string, cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// --- request ids and access logging ---
+
+// reqIDPrefix makes request ids unique across processes; the per-process
+// counter makes them unique within one.
+var reqIDPrefix = func() string {
+	b := make([]byte, 6)
+	rand.Read(b)
+	return hex.EncodeToString(b)
+}()
+
+var reqIDSeq atomic.Uint64
+
+func nextRequestID() string {
+	return reqIDPrefix + "-" + strconv.FormatUint(reqIDSeq.Add(1), 10)
+}
+
+// accessRecorder captures the response status and size for the access log;
+// handlers that know more (the allocation path) type-assert their
+// ResponseWriter back to it and fill in the query-shaped fields.
+type accessRecorder struct {
+	http.ResponseWriter
+	status   int
+	bytes    int
+	scenario int    // matched scenario index, -1 when none
+	cache    string // hit | miss | shared | none
+}
+
+func (a *accessRecorder) WriteHeader(code int) {
+	if a.status == 0 {
+		a.status = code
+	}
+	a.ResponseWriter.WriteHeader(code)
+}
+
+func (a *accessRecorder) Write(b []byte) (int, error) {
+	if a.status == 0 {
+		a.status = http.StatusOK
+	}
+	n, err := a.ResponseWriter.Write(b)
+	a.bytes += n
+	return n, err
+}
+
+// ServeHTTP implements http.Handler. With logging configured it emits one
+// structured access record per sampled request, propagating or generating
+// an X-Request-Id; with cfg.Log nil it is a straight dispatch.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	lg := s.cfg.Log
+	if lg == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	rid := r.Header.Get("X-Request-Id")
+	if n := s.cfg.LogEvery; n > 1 && s.logSeq.Add(1)%int64(n) != 0 {
+		// Unsampled: still echo a caller-supplied request id for tracing.
+		if rid != "" {
+			w.Header().Set("X-Request-Id", rid)
+		}
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	if rid == "" {
+		rid = nextRequestID()
+	}
+	w.Header().Set("X-Request-Id", rid)
+	rec := &accessRecorder{ResponseWriter: w, scenario: -1, cache: "none"}
+	start := time.Now()
+	s.mux.ServeHTTP(rec, r)
+	if rec.status == 0 {
+		rec.status = http.StatusOK
+	}
+	lg.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("request_id", rid),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("scenario", rec.scenario),
+		slog.String("cache", rec.cache),
+		slog.Int("status", rec.status),
+		slog.Int("bytes", rec.bytes),
+		slog.Duration("dur", time.Since(start)),
+	)
+}
 
 // Reload re-reads the artifact file, validates it, and atomically swaps it
 // in. On any failure — including a panic while decoding or instantiating —
@@ -127,18 +225,35 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func (s *Server) Reload() (err error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
+	s.reloading.Store(true)
 	s.attempts++
 	attempt := s.attempts
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("serve: reload panic: %v", r)
 		}
+		s.reloading.Store(false)
 		if c := s.cfg.collector(); c != nil {
 			d := obs.ServeMetrics{Reloads: 1}
 			if err != nil {
 				d.ReloadErrors = 1
 			}
 			c.AddServe(d)
+		}
+		if lg := s.cfg.Log; lg != nil {
+			if err != nil {
+				lg.LogAttrs(context.Background(), slog.LevelError, "artifact load failed",
+					slog.Int("attempt", attempt),
+					slog.String("path", s.path),
+					slog.String("error", err.Error()))
+			} else if st := s.st.load(); st != nil {
+				lg.LogAttrs(context.Background(), slog.LevelInfo, "artifact loaded",
+					slog.Int("attempt", attempt),
+					slog.String("path", s.path),
+					slog.String("topology", st.art.TopoName),
+					slog.String("checksum", st.checksum),
+					slog.Int("scenarios", len(st.art.Scenarios)))
+			}
 		}
 	}()
 	if hook := s.cfg.LoadHook; hook != nil {
@@ -330,8 +445,69 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	resp := map[string]any{"ok": true}
+	if st := s.st.load(); st != nil {
+		resp["version"] = ArtifactVersion
+		resp["checksum"] = st.checksum
+		resp["loaded_at"] = st.loadedAt.UTC().Format(time.RFC3339Nano)
+	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, `{"ok":true}`)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleReady is the readiness probe, distinct from the /healthz liveness
+// probe: not-ready (503 with a JSON reason) before the first artifact has
+// decoded and while a hot reload is decoding a replacement; the previous
+// artifact keeps answering /v1/alloc throughout, so load balancers drain
+// traffic without dropping in-flight queries.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.reloading.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"ready": false, "reason": "artifact reload in progress"})
+		return
+	}
+	st := s.st.load()
+	if st == nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"ready": false, "reason": "no artifact loaded"})
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{"ready": true, "checksum": st.checksum})
+}
+
+// handleMetrics renders the Prometheus exposition page: the collector's
+// epoch-consistent snapshot, live server gauges, and Go runtime telemetry.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", expo.ContentType)
+	expo.WritePage(w, s.cfg.collector(), s.extraMetrics)
+}
+
+// MetricsHandler exposes the /metrics page as a standalone handler so an
+// admin listener can mount it next to pprof without routing application
+// traffic.
+func (s *Server) MetricsHandler() http.Handler { return http.HandlerFunc(s.handleMetrics) }
+
+// extraMetrics appends point-in-time gauges over live server state to a
+// metrics page — values outside the Collector because they are levels, not
+// deltas.
+func (s *Server) extraMetrics(e *expo.Encoder) {
+	st := s.st.load()
+	ready := 0.0
+	if st != nil && !s.reloading.Load() {
+		ready = 1
+	}
+	e.Gauge("flexile_serve_ready", "Whether /readyz currently reports ready.", ready)
+	e.Gauge("flexile_serve_gate_in_use", "Recomputation-gate slots currently held.", float64(s.gate.InUse()))
+	e.Gauge("flexile_serve_gate_capacity", "Total recomputation-gate slots.", float64(s.gate.Cap()))
+	if st != nil {
+		e.Gauge("flexile_serve_cache_entries", "Allocation-cache entries resident.", float64(st.cache.len()))
+		e.Gauge("flexile_serve_flight_in_flight", "Distinct scenarios with a recomputation in flight.", float64(st.flight.InFlight()))
+		e.Gauge("flexile_artifact_info", "Identity of the loaded serving artifact (value is always 1).", 1,
+			expo.Label{Name: "version", Value: strconv.Itoa(ArtifactVersion)},
+			expo.Label{Name: "checksum", Value: st.checksum},
+			expo.Label{Name: "topology", Value: st.art.TopoName})
+	}
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
@@ -376,10 +552,11 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	d.Requests = 1
 	defer func() {
 		if c := s.cfg.collector(); c != nil {
-			d.RequestNanos = time.Since(start).Nanoseconds()
 			c.AddServe(d)
+			c.ObserveLatency(obs.LatServeRequest, time.Since(start))
 		}
 	}()
+	rec, _ := w.(*accessRecorder) // non-nil only on sampled, logged requests
 
 	var req *AllocRequest
 	var err error
@@ -407,9 +584,15 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no enumerated scenario matches failed edges %v", req.Failed))
 		return
 	}
+	if rec != nil {
+		rec.scenario = q
+	}
 
 	if body, ok := st.cache.get(q); ok {
 		d.CacheHits = 1
+		if rec != nil {
+			rec.cache = "hit"
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Flexile-Cache", "hit")
 		w.Write(body)
@@ -418,8 +601,17 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	d.CacheMisses = 1
 
 	body, cerr, shared := st.flight.Do(q, func() ([]byte, error) {
-		if gerr := s.gate.Enter(r.Context()); gerr != nil {
-			return nil, gerr
+		if !s.gate.TryEnter() {
+			// Saturated: count the queueing and wait for a slot.
+			d.GateWaits = 1
+			if lg := s.cfg.Log; lg != nil {
+				lg.LogAttrs(r.Context(), slog.LevelDebug, "gate saturated",
+					slog.Int("scenario", q),
+					slog.Int("capacity", s.gate.Cap()))
+			}
+			if gerr := s.gate.Enter(r.Context()); gerr != nil {
+				return nil, gerr
+			}
 		}
 		defer s.gate.Leave()
 		return computeAlloc(st, q)
@@ -435,6 +627,13 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	}
 	if !shared {
 		st.cache.put(q, body)
+	}
+	if rec != nil {
+		if shared {
+			rec.cache = "shared"
+		} else {
+			rec.cache = "miss"
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Flexile-Cache", "miss")
