@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race faults obs fuzz scrape golden cover bench bench-json clean
+.PHONY: ci vet build test race faults obs fuzz scrape golden cover bench bench-json benchgate clean
 
-ci: vet build race faults obs fuzz scrape cover
+ci: vet build race faults obs fuzz scrape cover benchgate
 
 vet:
 	$(GO) vet ./...
@@ -91,6 +91,13 @@ bench-json:
 	$(GO) test -bench . -run '^$$' -benchtime $(BENCHTIME) . | tee BENCH_$(TAG).txt
 	$(GO) run ./cmd/flexile-exp -benchjson BENCH_$(TAG).txt -o BENCH_$(TAG).json
 	rm -f BENCH_$(TAG).txt
+
+# Performance gate for the warm-started batched offline solve (DESIGN.md
+# §12): warm must stay ≥2× faster wall-clock than the default cold solve
+# on the IBM gate workload. Timing-sensitive, so it is opt-in via the
+# BENCHGATE env var rather than part of the plain test battery.
+benchgate:
+	BENCHGATE=1 $(GO) test -run 'TestBenchGateWarmSpeedup' -count=1 -v .
 
 clean:
 	rm -f BENCH_*.txt

@@ -62,6 +62,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	workers := fs.Int("workers", 0, "per-topology fan-out width (0 = all cores, 1 = sequential)")
 	timeout := fs.Duration("timeout", 0, "wall-clock limit per topology sweep, e.g. 10m (0 = unlimited)")
 	artifactOut := fs.String("artifact", "", "solve -topo offline and write a flexile-serve artifact to this file instead of running figures")
+	warm := fs.Bool("warm", false, "warm-start the -artifact offline solve from cached bases (figure runs always solve cold so goldens stay pinned)")
+	batch := fs.Bool("batch", true, "use the compiled batch LP path for the -artifact offline solve (bit-identical to the unbatched oracle)")
 	benchIn := fs.String("benchjson", "", "parse `go test -bench` output from this file (- = stdin) and emit JSON instead of running figures")
 	outPath := fs.String("o", "", "output path for -benchjson (default stdout)")
 	metrics := fs.Bool("metrics", false, "emit the aggregated solver metrics as JSON on stdout after the figures")
@@ -85,7 +87,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *artifactOut != "" {
-		if err := exportArtifact(*topoName, *seed, *workers, *timeout, *artifactOut, logger); err != nil {
+		opt := flexile.DesignOptions{MaxIterations: 5, Workers: *workers, Timeout: *timeout,
+			WarmStart: *warm, NoBatch: !*batch}
+		if err := exportArtifact(*topoName, *seed, opt, *artifactOut, logger); err != nil {
 			return err
 		}
 		return emitObs(collector, tracer, *metrics, *tracePath, stdout, logger)
@@ -222,7 +226,7 @@ func emitObs(collector *obs.Collector, tracer *obs.Tracer, metrics bool, tracePa
 // exportArtifact runs the offline pipeline on one topology (single class,
 // gravity traffic, enumerated failures — the §6 methodology) and writes
 // the serving artifact flexile-serve loads.
-func exportArtifact(topoName string, seed int64, workers int, timeout time.Duration, out string, lg *slog.Logger) error {
+func exportArtifact(topoName string, seed int64, opt flexile.DesignOptions, out string, lg *slog.Logger) error {
 	tp, err := flexile.LoadTopology(topoName)
 	if err != nil {
 		return err
@@ -233,7 +237,6 @@ func exportArtifact(topoName string, seed int64, workers int, timeout time.Durat
 	}
 	flexile.GenerateFailures(inst, seed+1, 1e-5, 50)
 	flexile.SetDesignTarget(inst)
-	opt := flexile.DesignOptions{MaxIterations: 5, Workers: workers, Timeout: timeout}
 	design, err := flexile.Design(inst, opt)
 	if err != nil {
 		return err

@@ -191,6 +191,13 @@ type Solution struct {
 	RowValue []float64
 	// Iterations is the total simplex pivot count across both phases.
 	Iterations int
+	// WarmStarted reports whether Options.StartBasis was actually
+	// installed: false when no start basis was given, and — the case
+	// callers care about — when one was given but rejected as incompatible
+	// (wrong shape, wrong basic count, or a singular basic set). Rejection
+	// also increments the obs WarmStartRejected counter, so silent
+	// cache-miss storms show up in /metrics.
+	WarmStarted bool
 
 	basis *Basis
 }
@@ -217,6 +224,16 @@ type Options struct {
 	// waiting for a stall, trading speed for guaranteed anti-cycling — the
 	// hardened setting retry policies use after a numerical failure.
 	Bland bool
+	// EtaUpdates enables product-form (eta-file) basis updates: each pivot
+	// records an O(m) elementary eta factor instead of performing the O(m²)
+	// dense inverse update, and ftran/btran apply the eta file on top of the
+	// last refactorized inverse. Periodic refactorization (RefactorEvery)
+	// collapses the file, bounding its length. Results agree with the dense
+	// path to solver tolerance but are not bit-identical (floating-point
+	// operations associate differently), so the dense path remains the
+	// default oracle; enable this for large instances where the per-pivot
+	// O(m²) dominates.
+	EtaUpdates bool
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -288,7 +305,14 @@ func (s *simplex) metrics(sol *Solution, err error, elapsed time.Duration) obs.L
 		Refactorizations: int64(s.refactors),
 		BlandActivations: int64(s.blandActs),
 		SingularRestarts: int64(s.singularRestarts),
+		EtaPivots:        int64(s.etaPivots),
 		SolveNanos:       elapsed.Nanoseconds(),
+	}
+	if s.warmAccepted {
+		d.WarmStarts = 1
+	}
+	if s.warmRejected {
+		d.WarmStartRejected = 1
 	}
 	switch {
 	case err != nil:

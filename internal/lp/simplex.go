@@ -9,6 +9,18 @@ import (
 	"time"
 )
 
+// eta is one product-form factor E of the basis inverse: the elementary
+// matrix that differs from the identity only in column r, where it holds
+// 1/piv on the diagonal and -w_i/piv off it (w is the ftran column of the
+// pivot that produced the factor, with w[r] == piv). Applying E to a vector
+// costs O(m); a pivot in eta mode records one factor instead of updating
+// the dense m×m inverse.
+type eta struct {
+	r   int
+	piv float64
+	w   []float64
+}
+
 // Variable status within the simplex tableau.
 type varStatus int8
 
@@ -45,6 +57,11 @@ type simplex struct {
 
 	binv []float64 // dense m×m row-major basis inverse
 
+	// Product-form eta file (Options.EtaUpdates): elementary factors
+	// recorded since the last refactorization, so that the true inverse is
+	// E_k···E_1·binv. Empty in dense mode and right after every refactor.
+	etas []eta
+
 	// scratch
 	y  []float64
 	w  []float64
@@ -65,6 +82,9 @@ type simplex struct {
 	blandActs        int
 	refactors        int
 	singularRestarts int
+	etaPivots        int
+	warmAccepted     bool
+	warmRejected     bool
 
 	// Cancellation: checked every checkCancelEvery iterations inside run.
 	ctx      context.Context
@@ -79,19 +99,30 @@ func newSimplex(p *Problem, opts Options) (*simplex, error) {
 		n:    n,
 		m:    m,
 	}
-	if err := s.buildColumns(); err != nil {
+	var err error
+	s.colPtr, s.colIdx, s.colVal, err = compileColumns(p)
+	if err != nil {
 		return nil, err
 	}
-	s.lb = make([]float64, n+m)
-	s.ub = make([]float64, n+m)
+	s.allocate()
 	copy(s.lb, p.colLB)
-	copy(s.ub, p.colUB)
 	for i := 0; i < m; i++ {
 		s.lb[n+i] = p.rowLB[i]
+	}
+	copy(s.ub, p.colUB)
+	for i := 0; i < m; i++ {
 		s.ub[n+i] = p.rowUB[i]
 	}
-	s.cost = make([]float64, n+m)
 	copy(s.cost, p.obj)
+	return s, nil
+}
+
+// allocate sizes the per-solve working slices for n columns and m rows.
+func (s *simplex) allocate() {
+	n, m := s.n, s.m
+	s.lb = make([]float64, n+m)
+	s.ub = make([]float64, n+m)
+	s.cost = make([]float64, n+m)
 	s.status = make([]varStatus, n+m)
 	s.xval = make([]float64, n+m)
 	s.basis = make([]int, m)
@@ -101,20 +132,19 @@ func newSimplex(p *Problem, opts Options) (*simplex, error) {
 	s.y = make([]float64, m)
 	s.w = make([]float64, m)
 	s.cc = make([]float64, n+m)
-	return s, nil
 }
 
-// buildColumns converts the row-wise insertion buffers into compressed
+// compileColumns converts the row-wise insertion buffers into compressed
 // sparse columns, summing duplicate coefficients. An out-of-range entry
 // column is a model-construction bug reported as a validation error, like
 // inconsistent bounds.
-func (s *simplex) buildColumns() error {
-	n, m := s.n, s.m
+func compileColumns(p *Problem) (colPtr []int, colIdx []int32, colVal []float64, _ error) {
+	n := p.NumCols()
 	counts := make([]int, n+1)
-	for i, row := range s.p.rows {
+	for i, row := range p.rows {
 		for _, e := range row {
 			if e.Col < 0 || e.Col >= n {
-				return fmt.Errorf("lp: row %q entry column %d out of range [0,%d)", s.p.rowName[i], e.Col, n)
+				return nil, nil, nil, fmt.Errorf("lp: row %q entry column %d out of range [0,%d)", p.rowName[i], e.Col, n)
 			}
 			counts[e.Col+1]++
 		}
@@ -127,7 +157,7 @@ func (s *simplex) buildColumns() error {
 	val := make([]float64, nnz)
 	next := make([]int, n)
 	copy(next, counts[:n])
-	for i, row := range s.p.rows {
+	for i, row := range p.rows {
 		for _, e := range row {
 			k := next[e.Col]
 			idx[k] = int32(i)
@@ -160,13 +190,9 @@ func (s *simplex) buildColumns() error {
 				outN++
 			}
 		}
-		_ = m
 	}
 	ptr[n] = outN
-	s.colPtr = ptr
-	s.colIdx = idx[:outN]
-	s.colVal = val[:outN]
-	return nil
+	return ptr, idx[:outN], val[:outN], nil
 }
 
 // checkCancelEvery is how many simplex iterations pass between
@@ -206,49 +232,18 @@ func (s *simplex) solve() (*Solution, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	n, m := s.n, s.m
-	// Initial basis: all logicals basic (B = -I).
-	for v := 0; v < n+m; v++ {
-		s.inBpos[v] = -1
-	}
-	for j := 0; j < n; j++ {
-		s.xval[j], s.status[j] = initialValue(s.lb[j], s.ub[j])
-	}
-	for i := 0; i < m; i++ {
-		v := n + i
-		s.basis[i] = v
-		s.status[v] = basic
-		s.inBpos[v] = i
-	}
-	for i := range s.binv {
-		s.binv[i] = 0
-	}
-	for i := 0; i < m; i++ {
-		s.binv[i*m+i] = -1
-	}
-	s.recomputeXB()
+	// Initial basis: all logicals basic (B = -I), then the warm basis on
+	// top when one was supplied and installs cleanly.
+	s.resetToLogicalBasis()
 	if s.opts.StartBasis != nil {
-		if !s.installBasis(s.opts.StartBasis) {
-			// Fall back to the cold start: rebuild the trivial basis.
-			for v := 0; v < n+m; v++ {
-				s.inBpos[v] = -1
-			}
-			for j := 0; j < n; j++ {
-				s.xval[j], s.status[j] = initialValue(s.lb[j], s.ub[j])
-			}
-			for i := 0; i < m; i++ {
-				v := n + i
-				s.basis[i] = v
-				s.status[v] = basic
-				s.inBpos[v] = i
-			}
-			for i := range s.binv {
-				s.binv[i] = 0
-			}
-			for i := 0; i < m; i++ {
-				s.binv[i*m+i] = -1
-			}
-			s.recomputeXB()
+		if s.installBasis(s.opts.StartBasis) {
+			s.warmAccepted = true
+		} else {
+			// Fall back to the cold start: rebuild the trivial basis. The
+			// rejection is surfaced through Solution.WarmStarted and the
+			// WarmStartRejected counter rather than silently swallowed.
+			s.warmRejected = true
+			s.resetToLogicalBasis()
 		}
 	}
 
@@ -334,9 +329,12 @@ func (s *simplex) validate() error {
 			return fmt.Errorf("lp: column %q has lb %g > ub %g", s.p.colName[j], s.lb[j], s.ub[j])
 		}
 	}
+	// Row bounds live on the logical variables so batch variants are
+	// validated the same way as freshly built problems.
 	for i := 0; i < s.m; i++ {
-		if s.p.rowLB[i] > s.p.rowUB[i] {
-			return fmt.Errorf("lp: row %q has lb %g > ub %g", s.p.rowName[i], s.p.rowLB[i], s.p.rowUB[i])
+		lv := s.n + i
+		if s.lb[lv] > s.ub[lv] {
+			return fmt.Errorf("lp: row %q has lb %g > ub %g", s.p.rowName[i], s.lb[lv], s.ub[lv])
 		}
 	}
 	return nil
@@ -370,7 +368,11 @@ func (s *simplex) recomputeXB() {
 		for k := 0; k < m; k++ {
 			sum += row[k] * v[k]
 		}
-		s.xB[i] = -sum
+		s.xB[i] = sum
+	}
+	s.applyEtas(s.xB)
+	for i := 0; i < m; i++ {
+		s.xB[i] = -s.xB[i]
 	}
 }
 
@@ -409,11 +411,31 @@ func (s *simplex) phaseCost(phase int) {
 	}
 }
 
-// computeY sets y = cc_B^T · B⁻¹.
+// computeY sets y = cc_B^T · B⁻¹. In eta mode the basic costs are first
+// pushed through the transposed eta file, then through the dense base
+// inverse; w doubles as scratch (it is rebuilt by the next ftran).
 func (s *simplex) computeY() {
 	m := s.m
 	for k := 0; k < m; k++ {
 		s.y[k] = 0
+	}
+	if len(s.etas) > 0 {
+		u := s.w
+		for i := 0; i < m; i++ {
+			u[i] = s.cc[s.basis[i]]
+		}
+		s.applyEtasT(u)
+		for i := 0; i < m; i++ {
+			ui := u[i]
+			if ui == 0 {
+				continue
+			}
+			row := s.binv[i*m : i*m+m]
+			for k := 0; k < m; k++ {
+				s.y[k] += ui * row[k]
+			}
+		}
+		return
 	}
 	for i := 0; i < m; i++ {
 		cb := s.cc[s.basis[i]]
@@ -451,14 +473,48 @@ func (s *simplex) ftran(q int) {
 		for i := 0; i < m; i++ {
 			s.w[i] = -s.binv[i*m+r]
 		}
-		return
-	}
-	for k := s.colPtr[q]; k < s.colPtr[q+1]; k++ {
-		r := int(s.colIdx[k])
-		a := s.colVal[k]
-		for i := 0; i < m; i++ {
-			s.w[i] += s.binv[i*m+r] * a
+	} else {
+		for k := s.colPtr[q]; k < s.colPtr[q+1]; k++ {
+			r := int(s.colIdx[k])
+			a := s.colVal[k]
+			for i := 0; i < m; i++ {
+				s.w[i] += s.binv[i*m+r] * a
+			}
 		}
+	}
+	s.applyEtas(s.w)
+}
+
+// applyEtas multiplies v by the eta file in recording order:
+// v ← E_k···E_1·v. A no-op in dense mode (empty file).
+func (s *simplex) applyEtas(v []float64) {
+	for i := range s.etas {
+		e := &s.etas[i]
+		vr := v[e.r] / e.piv
+		if vr != 0 {
+			for j, wj := range e.w {
+				if j != e.r && wj != 0 {
+					v[j] -= wj * vr
+				}
+			}
+		}
+		v[e.r] = vr
+	}
+}
+
+// applyEtasT multiplies the row vector u by the eta file in reverse order:
+// u ← u·E_k···E_1, the btran counterpart of applyEtas. Only entry r of u
+// changes per factor: (u·E)_r = (u_r·(1+piv) − u·w)/piv, using w_r = piv.
+func (s *simplex) applyEtasT(u []float64) {
+	for k := len(s.etas) - 1; k >= 0; k-- {
+		e := &s.etas[k]
+		dot := 0.0
+		for i, wi := range e.w {
+			if wi != 0 {
+				dot += u[i] * wi
+			}
+		}
+		u[e.r] = (u[e.r]*(1+e.piv) - dot) / e.piv
 	}
 }
 
@@ -822,23 +878,33 @@ func (s *simplex) pivot(q, r int, t, dir float64) {
 	s.xB[r] = enterVal
 
 	// Update B⁻¹ with the elementary transformation for pivot element w[r].
+	// In eta mode the transformation is recorded as a product-form factor
+	// (O(m)) instead of applied to the dense inverse (O(m²)); the factor
+	// file is collapsed by the next refactorization.
 	piv := s.w[r]
-	brow := s.binv[r*m : r*m+m]
-	inv := 1 / piv
-	for k := 0; k < m; k++ {
-		brow[k] *= inv
-	}
-	for i := 0; i < m; i++ {
-		if i == r {
-			continue
-		}
-		f := s.w[i]
-		if f == 0 {
-			continue
-		}
-		row := s.binv[i*m : i*m+m]
+	if s.opts.EtaUpdates {
+		wc := make([]float64, m)
+		copy(wc, s.w)
+		s.etas = append(s.etas, eta{r: r, piv: piv, w: wc})
+		s.etaPivots++
+	} else {
+		brow := s.binv[r*m : r*m+m]
+		inv := 1 / piv
 		for k := 0; k < m; k++ {
-			row[k] -= f * brow[k]
+			brow[k] *= inv
+		}
+		for i := 0; i < m; i++ {
+			if i == r {
+				continue
+			}
+			f := s.w[i]
+			if f == 0 {
+				continue
+			}
+			row := s.binv[i*m : i*m+m]
+			for k := 0; k < m; k++ {
+				row[k] -= f * brow[k]
+			}
 		}
 	}
 	s.pivots++
@@ -905,6 +971,7 @@ func (s *simplex) refactor() error {
 		}
 	}
 	copy(s.binv, inv)
+	s.etas = s.etas[:0]
 	s.refactors++
 	s.sinceRefactor = 0
 	s.recomputeXB()
@@ -934,6 +1001,7 @@ func (s *simplex) resetToLogicalBasis() {
 	for i := 0; i < m; i++ {
 		s.binv[i*m+i] = -1
 	}
+	s.etas = s.etas[:0]
 	s.sinceRefactor = 0
 	s.recomputeXB()
 }
@@ -988,6 +1056,7 @@ func (s *simplex) extract(st Status) *Solution {
 		obj += s.cost[j] * sol.X[j]
 	}
 	sol.Objective = obj
+	sol.WarmStarted = s.warmAccepted
 	sol.basis = s.snapshotBasis()
 	return sol
 }

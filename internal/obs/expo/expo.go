@@ -291,6 +291,9 @@ func EncodeSolveMetrics(e *Encoder, m obs.SolveMetrics) {
 	e.Counter("flexile_lp_refactorizations_total", "Full basis-inverse rebuilds.", float64(m.LP.Refactorizations))
 	e.Counter("flexile_lp_bland_activations_total", "Switches to Bland's anti-cycling rule.", float64(m.LP.BlandActivations))
 	e.Counter("flexile_lp_singular_restarts_total", "Recoveries from a singular basis.", float64(m.LP.SingularRestarts))
+	e.Counter("flexile_lp_warm_starts_total", "Solves that installed a caller-supplied start basis.", float64(m.LP.WarmStarts))
+	e.Counter("flexile_lp_warm_start_rejected_total", "Solves whose start basis was rejected (warm-start cache misses).", float64(m.LP.WarmStartRejected))
+	e.Counter("flexile_lp_eta_pivots_total", "Pivots applied as product-form eta factors.", float64(m.LP.EtaPivots))
 	// MIP.
 	e.Counter("flexile_mip_solves_total", "Branch-and-bound solves.", float64(m.MIP.Solves))
 	e.Counter("flexile_mip_nodes_total", "Explored branch-and-bound nodes.", float64(m.MIP.Nodes))
@@ -308,6 +311,8 @@ func EncodeSolveMetrics(e *Encoder, m obs.SolveMetrics) {
 	e.Counter("flexile_decomp_master_failures_total", "Master steps that ended the decomposition early.", float64(m.Decomp.MasterFailures))
 	e.Counter("flexile_decomp_cuts_generated_total", "Benders cuts extracted from scenario solves.", float64(m.Decomp.CutsGenerated))
 	e.Counter("flexile_decomp_cuts_deduped_total", "Cuts dropped as exact duplicates.", float64(m.Decomp.CutsDeduped))
+	e.Counter("flexile_decomp_cuts_retired_total", "Pooled cuts retired by the aging policy.", float64(m.Decomp.CutsRetired))
+	e.Counter("flexile_decomp_cuts_revived_total", "Retired cuts revived after binding again.", float64(m.Decomp.CutsRevived))
 	e.Counter("flexile_decomp_shared_cut_rows_total", "Shared-cut rows materialized by separation rounds.", float64(m.Decomp.SharedCutRows))
 	// Worker pool.
 	e.Counter("flexile_pool_launches_total", "Worker-pool invocations.", float64(m.Pool.Launches))

@@ -27,13 +27,14 @@ func fixedMetrics() obs.SolveMetrics {
 		Solves: 101, Errors: 2, Optimal: 90, Infeasible: 5, Unbounded: 3,
 		IterLimit: 1, Phase1Pivots: 1000, Phase2Pivots: 2000, BoundFlips: 30,
 		DegeneratePivots: 40, Refactorizations: 7, BlandActivations: 1,
-		SingularRestarts: 1, SolveNanos: 0,
+		SingularRestarts: 1, WarmStarts: 70, WarmStartRejected: 4,
+		EtaPivots: 600, SolveNanos: 0,
 	}
 	m.MIP = obs.MIPMetrics{Solves: 11, Nodes: 500, PrunedNodes: 200, IncumbentUpdates: 9, HeuristicCalls: 12}
 	m.Decomp = obs.DecompMetrics{
 		Solves: 1, Iterations: 6, ScenarioSolves: 60, ScenarioRetries: 2,
 		ScenarioSkips: 1, ScenLossFallbacks: 1, MasterSolves: 6, MasterFailures: 0,
-		CutsGenerated: 55, CutsDeduped: 5, SharedCutRows: 10,
+		CutsGenerated: 55, CutsDeduped: 5, CutsRetired: 7, CutsRevived: 2, SharedCutRows: 10,
 	}
 	m.Pool = obs.PoolMetrics{Launches: 4, Items: 64, MaxWorkers: 8, BusyNanos: 2_500_000_000}
 	m.Serve = obs.ServeMetrics{

@@ -68,6 +68,17 @@ type LPMetrics struct {
 	// SingularRestarts counts recoveries from a singular basis via the
 	// logical-basis restart.
 	SingularRestarts int64 `json:"singular_restarts"`
+	// WarmStarts counts solves that successfully installed a caller-
+	// supplied start basis; WarmStartRejected counts solves that were
+	// handed one but fell back to a cold start because the basis was
+	// incompatible (shape mismatch, wrong basic count, singular basic
+	// set). Rejections are the warm-start cache-miss signal: a warm-
+	// started pipeline expects WarmStartRejected ≈ 0.
+	WarmStarts        int64 `json:"warm_starts"`
+	WarmStartRejected int64 `json:"warm_start_rejected"`
+	// EtaPivots counts pivots applied as product-form eta factors instead
+	// of dense inverse updates (lp.Options.EtaUpdates).
+	EtaPivots int64 `json:"eta_pivots"`
 	// SolveNanos is total wall-clock time inside SolveCtx. Scheduling-
 	// dependent: zeroed by Canonical().
 	SolveNanos int64 `json:"solve_ns"`
@@ -123,6 +134,11 @@ type DecompMetrics struct {
 	// (same native scenario, identical coefficients) and were dropped.
 	CutsGenerated int64 `json:"cuts_generated"`
 	CutsDeduped   int64 `json:"cuts_deduped"`
+	// CutsRetired counts pooled cuts retired by the aging policy (dominated
+	// at CutAge consecutive master incumbents); CutsRevived counts retired
+	// cuts brought back after binding again or being regenerated.
+	CutsRetired int64 `json:"cuts_retired"`
+	CutsRevived int64 `json:"cuts_revived"`
 	// SharedCutRows counts g^q_{q'} rows materialized by the separation
 	// rounds across all master solves.
 	SharedCutRows int64 `json:"shared_cut_rows"`
@@ -315,6 +331,9 @@ func (c *Collector) AddLP(d LPMetrics) {
 		atomic.AddInt64(&m.Refactorizations, d.Refactorizations)
 		atomic.AddInt64(&m.BlandActivations, d.BlandActivations)
 		atomic.AddInt64(&m.SingularRestarts, d.SingularRestarts)
+		atomic.AddInt64(&m.WarmStarts, d.WarmStarts)
+		atomic.AddInt64(&m.WarmStartRejected, d.WarmStartRejected)
+		atomic.AddInt64(&m.EtaPivots, d.EtaPivots)
 		atomic.AddInt64(&m.SolveNanos, d.SolveNanos)
 	}
 }
@@ -346,6 +365,8 @@ func (c *Collector) AddDecomp(d DecompMetrics) {
 		atomic.AddInt64(&m.MasterFailures, d.MasterFailures)
 		atomic.AddInt64(&m.CutsGenerated, d.CutsGenerated)
 		atomic.AddInt64(&m.CutsDeduped, d.CutsDeduped)
+		atomic.AddInt64(&m.CutsRetired, d.CutsRetired)
+		atomic.AddInt64(&m.CutsRevived, d.CutsRevived)
 		atomic.AddInt64(&m.SharedCutRows, d.SharedCutRows)
 	}
 }
@@ -447,6 +468,9 @@ func (c *Collector) Snapshot() SolveMetrics {
 	dst.Refactorizations = atomic.LoadInt64(&src.Refactorizations)
 	dst.BlandActivations = atomic.LoadInt64(&src.BlandActivations)
 	dst.SingularRestarts = atomic.LoadInt64(&src.SingularRestarts)
+	dst.WarmStarts = atomic.LoadInt64(&src.WarmStarts)
+	dst.WarmStartRejected = atomic.LoadInt64(&src.WarmStartRejected)
+	dst.EtaPivots = atomic.LoadInt64(&src.EtaPivots)
 	dst.SolveNanos = atomic.LoadInt64(&src.SolveNanos)
 	ms, md := &c.m.MIP, &out.MIP
 	md.Solves = atomic.LoadInt64(&ms.Solves)
@@ -466,6 +490,8 @@ func (c *Collector) Snapshot() SolveMetrics {
 	dd.MasterFailures = atomic.LoadInt64(&ds.MasterFailures)
 	dd.CutsGenerated = atomic.LoadInt64(&ds.CutsGenerated)
 	dd.CutsDeduped = atomic.LoadInt64(&ds.CutsDeduped)
+	dd.CutsRetired = atomic.LoadInt64(&ds.CutsRetired)
+	dd.CutsRevived = atomic.LoadInt64(&ds.CutsRevived)
 	dd.SharedCutRows = atomic.LoadInt64(&ds.SharedCutRows)
 	ps, pd := &c.m.Pool, &out.Pool
 	pd.Launches = atomic.LoadInt64(&ps.Launches)

@@ -28,6 +28,10 @@ type AugmentOptions struct {
 	MaxIterations int
 	// MasterNodes bounds master branch-and-bound nodes; 0 means 200.
 	MasterNodes int
+	// CutAge is the cut-pool aging horizon, as in Options.CutAge: cuts
+	// dominated at this many consecutive incumbents leave the master until
+	// they bind again. 0 means 5; negative disables aging.
+	CutAge int
 	// LP tunes the solvers.
 	LP lp.Options
 }
@@ -70,6 +74,9 @@ func Augment(inst *te.Instance, opt AugmentOptions) (*AugmentResult, error) {
 	}
 	if opt.MasterNodes == 0 {
 		opt.MasterNodes = 200
+	}
+	if opt.CutAge == 0 {
+		opt.CutAge = 5
 	}
 	target := opt.Target
 	if target == nil {
@@ -138,7 +145,10 @@ func Augment(inst *te.Instance, opt AugmentOptions) (*AugmentResult, error) {
 	workTopo.G = workG
 	work.Topo = &workTopo
 
-	var cuts []augCut
+	// Each iteration re-solves every scenario at the new (z, δ), so a
+	// scenario whose optimum did not move regenerates its exact cut — the
+	// pool dedups those and ages dominated cuts out of the master.
+	pool := newCutPool(opt.CutAge, augCutKey, augCutEqual)
 
 	res := &AugmentResult{Delta: delta}
 	for iter := 0; iter < opt.MaxIterations; iter++ {
@@ -187,7 +197,7 @@ func Augment(inst *te.Instance, opt AugmentOptions) (*AugmentResult, error) {
 				}
 			}
 			ct.C = sol.optval - zTerm - capTerm
-			cuts = append(cuts, ct)
+			pool.add(ct)
 		}
 		res.Iterations = iter + 1
 		for k := range inst.Classes {
@@ -206,11 +216,28 @@ func Augment(inst *te.Instance, opt AugmentOptions) (*AugmentResult, error) {
 			return res, nil
 		}
 		// Master in (z, δ): min Σ cost·δ s.t. coverage, cuts ≤ target.
-		nz, nd, err := solveAugMaster(inst, connected, cuts, z, aliveMask, target, cost, maxAug, opt)
+		nz, nd, err := solveAugMaster(inst, connected, pool.active(), z, aliveMask, target, cost, maxAug, opt)
 		if err != nil {
 			return nil, err
 		}
 		z, delta = nz, nd
+		// Age the pool at the new incumbent (z, δ): a cut's value is its
+		// subproblem lower bound there, the quantity the master constrains
+		// to the target.
+		pool.observe(func(ct augCut) float64 {
+			v := ct.C
+			for f, y := range ct.yAlpha {
+				if !z.Get(f, ct.q) {
+					v -= y
+				}
+			}
+			for e, y := range ct.yCapRaw {
+				if y != 0 && aliveMask[ct.q][e] {
+					v += y * (g.Edge(e).Capacity + delta[e])
+				}
+			}
+			return v
+		})
 	}
 	return nil, fmt.Errorf("flexile: augmentation did not converge in %d iterations", opt.MaxIterations)
 }

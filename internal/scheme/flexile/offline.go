@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"runtime/pprof"
 	"sort"
@@ -39,6 +38,16 @@ type Options struct {
 	// SharedCutLimit caps how many shared-cut rows are added per
 	// separation round; 0 means 150.
 	SharedCutLimit int
+	// CutAge is the cut-pool aging horizon: a pooled Benders cut whose dual
+	// bound stays dominated at this many consecutive master incumbents is
+	// retired from the master LP, and revived if it becomes binding again
+	// (or a scenario regenerates it). 0 means 5 — which the default
+	// MaxIterations of 5 (at most 4 master solves) can never reach, so
+	// default runs keep their exact historical trajectories — and negative
+	// disables aging entirely. Long decompositions (MaxIterations well above
+	// the default) are where aging pays, keeping the master LP from growing
+	// without bound.
+	CutAge int
 	// Gamma, when ≥ 0, bounds every connected flow's loss in scenario q to
 	// γ + optimal ScenLoss_q (§4.4). Negative disables the bound. Cut
 	// sharing is disabled in this mode (scenario LPs stop sharing a dual
@@ -48,6 +57,28 @@ type Options struct {
 	// already claimed outside this design (sequential multi-class design,
 	// §4.4): capacities are reduced accordingly. Disables cut sharing.
 	ScenFixedUse [][]float64
+	// WarmStart enables basis reuse across the decomposition: each
+	// scenario's re-solve starts from its previous optimal basis, and first
+	// solves are seeded from the first scenario solved, which cuts simplex
+	// pivots severalfold on real topologies. Warm runs are deterministic —
+	// bit-identical across worker counts, since the seed basis is fixed
+	// before any parallel solve — and reach the same objectives as cold
+	// runs within the LP tolerance. They are NOT guaranteed bit-identical
+	// to cold runs: on degenerate instances the simplex may stop at a
+	// different (equally optimal) basis whose duals differ at FP-noise
+	// level, which the master MIP can amplify into a different — equally
+	// valid — trajectory. The default (false) therefore solves cold,
+	// preserving the exact historical trajectories that experiment goldens
+	// pin; turn warm on for throughput (the benchmarks and the CLIs' -warm
+	// flag do).
+	WarmStart bool
+	// NoBatch disables the compiled batched LP path through internal/lp:
+	// every subproblem solve rebuilds its sparse columns from the Problem
+	// buffers, the pre-batch behavior. The default (false) compiles the
+	// shared subproblem structure once per LP instance and re-solves
+	// bound-only variants against it. Results are identical by
+	// construction; NoBatch exists as the oracle path.
+	NoBatch bool
 	// Workers is how many goroutines the scenario-parallel hot loops use
 	// (per-scenario subproblem solves, the ScenLoss precompute, the
 	// shared-cut separation scan). 0 means runtime.NumCPU(); 1 runs every
@@ -96,6 +127,9 @@ func (o Options) withDefaults(bits int) Options {
 	}
 	if o.SharedCutLimit == 0 {
 		o.SharedCutLimit = 150
+	}
+	if o.CutAge == 0 {
+		o.CutAge = 5
 	}
 	if o.Gamma == 0 {
 		o.Gamma = -1 // Options{} disables the γ bound
@@ -297,8 +331,56 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 	// instead of aborting the whole solve.
 	scenLossOpt := make([]float64, nq)
 	endPre := col.Span("scenloss-precompute", 0, "scenarios", nq)
+	// Warm mode compiles the max-concurrent-flow structure once
+	// (te.ScaleBatch) and solves every scenario as a bound-only variant
+	// warm-started from a shared seed basis. The seed comes from scenario 0
+	// solved serially before the fan-out, so the seed — and with it every
+	// warm trajectory — is identical for every worker count. Values agree
+	// with the cold per-scenario builder to solver tolerance; the cold path
+	// stays the default oracle. Per-scenario traffic matrices and fixed-use
+	// capacities change LP coefficients, which variants cannot express, so
+	// those instances always precompute cold.
+	warmPre := opt.WarmStart && !opt.NoBatch && inst.ScenDemand == nil && opt.ScenFixedUse == nil
+	var (
+		preBatch   *te.ScaleBatch
+		preSeed    *lp.Basis
+		preSolvers []*te.ScaleSolver
+	)
+	if warmPre {
+		if pb, err := te.NewScaleBatch(inst); err == nil {
+			if zScale, basis, err := pb.NewSolver().Solve(ctx, inst.Scenarios[0], opt.LP); err == nil {
+				preBatch = pb
+				preSeed = basis
+				scenLossOpt[0] = math.Max(0, 1-math.Min(1, zScale))
+				preSolvers = make([]*te.ScaleSolver, opt.Workers)
+			} else if isCtxErr(err) {
+				return nil, fmt.Errorf("flexile: offline solve canceled: %w", err)
+			}
+			// Any other seed failure: fall back to the cold builder below;
+			// warm must never be less robust than cold.
+		}
+	}
 	preErrs := par.Collect(ctx, opt.Workers, nq, func(worker, q int) error {
 		defer col.Span("scenloss", int64(worker)+1, "scenario", q)()
+		if preBatch != nil {
+			if q == 0 {
+				return nil // solved serially as the seed
+			}
+			if preSolvers[worker] == nil {
+				preSolvers[worker] = preBatch.NewSolver()
+			}
+			lo := opt.LP
+			lo.StartBasis = preSeed
+			zScale, _, err := preSolvers[worker].Solve(ctx, inst.Scenarios[q], lo)
+			if err == nil {
+				scenLossOpt[q] = math.Max(0, 1-math.Min(1, zScale))
+				return nil
+			}
+			if isCtxErr(err) {
+				return err
+			}
+			// Retry through the cold builder before degrading.
+		}
 		var capUse []float64
 		if opt.ScenFixedUse != nil {
 			capUse = opt.ScenFixedUse[q]
@@ -353,6 +435,9 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 	sps := make([]*subproblem, opt.Workers)
 	var spByQMu sync.Mutex
 	spByQ := make(map[int]*subproblem)
+	newSub := func(demands []float64) *subproblem {
+		return newSubproblemB(inst, demands, opt.LP, !opt.NoBatch)
+	}
 	solveSub := func(worker, q int, crit func(int) bool, alive []bool, ub []float64, lpOpts lp.Options) (*subSolution, error) {
 		var capUse []float64
 		if opt.ScenFixedUse != nil {
@@ -362,14 +447,14 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 			spByQMu.Lock()
 			sq, ok := spByQ[q]
 			if !ok {
-				sq = newSubproblemD(inst, dv, opt.LP)
+				sq = newSub(dv)
 				spByQ[q] = sq
 			}
 			spByQMu.Unlock()
 			return sq.solveWith(ctx, lpOpts, q, crit, alive, ub, capUse)
 		}
 		if sps[worker] == nil {
-			sps[worker] = newSubproblem(inst, opt.LP)
+			sps[worker] = newSub(nil)
 		}
 		return sps[worker].solveWith(ctx, lpOpts, q, crit, alive, ub, capUse)
 	}
@@ -381,7 +466,13 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 	// retry so the report can say why. All decisions depend only on the
 	// scenario and the attempt number, never on the worker id, so faulted
 	// runs stay deterministic across worker counts.
-	solveSubAttempts := func(worker, q int, crit func(int) bool, alive []bool, ub []float64) (*subSolution, int, error, error) {
+	//
+	// start is the scenario's warm basis (nil = cold). Only attempt 0 uses
+	// it: a failed warm solve always retries cold, so a corrupt or merely
+	// unlucky cached basis can degrade one attempt but never wedge a
+	// scenario, and the cache itself is only refreshed from successful
+	// solves.
+	solveSubAttempts := func(worker, q int, crit func(int) bool, alive []bool, ub []float64, start *lp.Basis) (*subSolution, int, error, error) {
 		var firstErr error
 		for attempt := 0; ; attempt++ {
 			var sol *subSolution
@@ -391,8 +482,11 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 			}
 			if err == nil {
 				lpOpts := opt.LP
-				if attempt > 0 {
+				if attempt == 0 {
+					lpOpts.StartBasis = start
+				} else {
 					lpOpts = hardenLP(lpOpts)
+					lpOpts.StartBasis = nil
 				}
 				sol, err = solveSub(worker, q, crit, alive, ub, lpOpts)
 			}
@@ -429,16 +523,25 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 		col  *ScenarioColumn // snapshot of scenario q's column when last solved
 		sol  *subSolution
 		perf bool // perfect scenario: all connected flows lossless
+		// basis is the scenario's last optimal basis; its next solve
+		// warm-starts from it. Only refreshed on success, so a failed
+		// (or faulted) solve can never poison the cache.
+		basis *lp.Basis
 	}
 	caches := make([]cache, nq)
-	var cuts []*cut
-	// Content-dedup of the cut pool: re-solving a scenario whose optimum did
-	// not move regenerates the exact same cut, and a duplicate row in the
-	// master is pure ballast. Keyed by content hash, verified by full
-	// equality; appends happen in ascending scenario order, so the surviving
-	// pool is identical for every worker count.
-	cutIndex := make(map[uint64]int)
-	var cutsGenerated, cutsDeduped int64
+	// seedBasis warm-starts scenarios that have never been solved: the
+	// subproblem LPs differ only in row bounds, so the first scenario's
+	// optimal basis is a near-optimal start for every other one. It is
+	// fixed after the first solve of the run, so what each scenario's
+	// solve sees is independent of worker count and scheduling. Cross-
+	// scenario seeding is skipped under per-scenario traffic matrices
+	// (the LPs then differ in shape and demands, not just bounds).
+	var seedBasis *lp.Basis
+	seedOK := opt.WarmStart && inst.ScenDemand == nil
+	// The cut pool dedups regenerated cuts and ages dominated ones out of
+	// the master (see cutpool.go); appends happen in ascending scenario
+	// order, so the surviving pool is identical for every worker count.
+	pool := newCutPool(opt.CutAge, cutKey, cutEqual)
 	losses := make([][]float64, nf)
 	for f := range losses {
 		losses[f] = make([]float64, nq)
@@ -470,8 +573,7 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 		sols := make([]*subSolution, len(pending))
 		attempts := make([]int, len(pending))
 		retriedFrom := make([]error, len(pending))
-		endBatch := col.Span("iteration", 0, "iter", iter, "pending", len(pending))
-		itemErrs := par.Collect(ctx, opt.Workers, len(pending), func(worker, j int) error {
+		solveOne := func(worker, j int) error {
 			q := pending[j]
 			defer col.Span("scenario-solve", int64(worker)+1, "scenario", q, "iteration", iter)()
 			defer col.ObserveSince(obs.LatScenarioSolve, time.Now())
@@ -479,13 +581,20 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 			if lossUB != nil {
 				ub = lossUB[q]
 			}
+			var startB *lp.Basis
+			if opt.WarmStart {
+				startB = caches[q].basis
+				if startB == nil {
+					startB = seedBasis
+				}
+			}
 			var sol *subSolution
 			var att int
 			var first, err error
 			// Label the CPU samples of this scenario's solve so profiles
 			// attribute time to (scenario, iteration).
 			pprof.Do(ctx, pprof.Labels("solve", "scenario", "scenario", strconv.Itoa(q), "iteration", strconv.Itoa(iter)), func(context.Context) {
-				sol, att, first, err = solveSubAttempts(worker, q, func(f int) bool { return z.Get(f, q) }, aliveMask[q], ub)
+				sol, att, first, err = solveSubAttempts(worker, q, func(f int) bool { return z.Get(f, q) }, aliveMask[q], ub, startB)
 			})
 			attempts[j] = att
 			if err != nil {
@@ -494,7 +603,25 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 			sols[j] = sol
 			retriedFrom[j] = first
 			return nil
-		})
+		}
+		endBatch := col.Span("iteration", 0, "iter", iter, "pending", len(pending))
+		itemErrs := make([]error, len(pending))
+		first := 0
+		if seedOK && seedBasis == nil && len(pending) > 0 {
+			// Solve the first pending scenario on its own (still through the
+			// pool, for panic isolation) so its optimal basis can seed every
+			// other scenario's first solve. The seed is fixed before any
+			// parallel solve starts, so the basis each scenario sees does not
+			// depend on worker count or scheduling.
+			itemErrs[0] = par.Collect(ctx, 1, 1, func(worker, _ int) error { return solveOne(worker, 0) })[0]
+			if sols[0] != nil {
+				seedBasis = sols[0].basis
+			}
+			first = 1
+		}
+		for j, err := range par.Collect(ctx, opt.Workers, len(pending)-first, func(worker, j int) error { return solveOne(worker, j+first) }) {
+			itemErrs[j+first] = err
+		}
 		endBatch()
 		// Classify failures in ascending scenario order (deterministic for
 		// any worker count): cancellation aborts, everything else degrades
@@ -537,14 +664,8 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 			res.SubproblemSolves++
 			c.sol = sol
 			c.col = z.CloneScenario(q)
-			cutsGenerated++
-			key := cutKey(sol.cut)
-			if ci, ok := cutIndex[key]; ok && cutEqual(cuts[ci], sol.cut) {
-				cutsDeduped++
-			} else {
-				cutIndex[key] = len(cuts)
-				cuts = append(cuts, sol.cut)
-			}
+			c.basis = sol.basis
+			pool.add(sol.cut)
 			// A scenario is perfect when, with every connected flow marked
 			// critical (the warm-start state), the optimum is zero.
 			if iter == 0 && sol.optval <= 1e-9 {
@@ -597,6 +718,7 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 		// best incumbent found so far is returned.
 		var nz *CriticalSet
 		var err error
+		cuts := pool.active()
 		endMaster := col.Span("master-solve", 0, "iteration", iter, "cuts", len(cuts))
 		pprof.Do(ctx, pprof.Labels("solve", "master", "iteration", strconv.Itoa(iter)), func(context.Context) {
 			nz, err = solveMaster(ctx, inst, connected, cuts, z, aliveCap, opt, shareCuts)
@@ -617,6 +739,12 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 		}
 		z = nz
 		res.Critical = z
+		// Age the pool at the new incumbent: each cut's dual bound is
+		// evaluated at z in its native scenario; cuts dominated for CutAge
+		// consecutive incumbents leave the master until they bind again.
+		pool.observe(func(ct *cut) float64 {
+			return ct.value(func(f int) bool { return z.Get(f, ct.nativeQ) }, aliveCap[ct.nativeQ])
+		})
 	}
 
 	res.Critical = bestZ
@@ -631,52 +759,14 @@ func OfflineCtx(ctx context.Context, inst *te.Instance, opt Options) (*OfflineRe
 		ScenarioSkips:     int64(len(report.Skipped)),
 		ScenLossFallbacks: int64(len(report.ScenLossFallback)),
 		MasterFailures:    int64(len(report.MasterFailures)),
-		CutsGenerated:     cutsGenerated,
-		CutsDeduped:       cutsDeduped,
+		CutsGenerated:     pool.generated,
+		CutsDeduped:       pool.deduped,
+		CutsRetired:       pool.numRetired,
+		CutsRevived:       pool.numRevived,
 	})
 	report.Metrics = col.Snapshot()
 	res.Report = report
 	return res, nil
-}
-
-// cutKey hashes a cut's full content (native scenario, constant, duals);
-// cutEqual confirms a hash hit before a cut is dropped as a duplicate.
-func cutKey(ct *cut) uint64 {
-	h := fnv.New64a()
-	var b [8]byte
-	put := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			b[i] = byte(v >> (8 * i))
-		}
-		h.Write(b[:])
-	}
-	put(uint64(ct.nativeQ))
-	put(math.Float64bits(ct.C))
-	for _, y := range ct.yAlpha {
-		put(math.Float64bits(y))
-	}
-	for _, c := range ct.capCoef {
-		put(math.Float64bits(c))
-	}
-	return h.Sum64()
-}
-
-func cutEqual(a, b *cut) bool {
-	if a.nativeQ != b.nativeQ || a.C != b.C ||
-		len(a.yAlpha) != len(b.yAlpha) || len(a.capCoef) != len(b.capCoef) {
-		return false
-	}
-	for i := range a.yAlpha {
-		if a.yAlpha[i] != b.yAlpha[i] {
-			return false
-		}
-	}
-	for i := range a.capCoef {
-		if a.capCoef[i] != b.capCoef[i] {
-			return false
-		}
-	}
-	return true
 }
 
 func cloneMatrix(m [][]float64) [][]float64 {

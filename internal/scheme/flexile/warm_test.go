@@ -1,0 +1,141 @@
+package flexile
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"flexile/internal/faultinject"
+)
+
+// sameOffline asserts two offline results are bit-for-bit identical in
+// every solver-visible output: critical set, losses, penalties, and
+// trajectory counters.
+func sameOffline(t *testing.T, label string, got, want *OfflineResult) {
+	t.Helper()
+	if !got.Critical.Equal(want.Critical) {
+		t.Errorf("%s: critical sets differ", label)
+	}
+	if !reflect.DeepEqual(got.PercLoss, want.PercLoss) {
+		t.Errorf("%s: PercLoss %v vs %v", label, got.PercLoss, want.PercLoss)
+	}
+	if !reflect.DeepEqual(got.IterPenalty, want.IterPenalty) {
+		t.Errorf("%s: IterPenalty %v vs %v", label, got.IterPenalty, want.IterPenalty)
+	}
+	if !reflect.DeepEqual(got.SubLosses, want.SubLosses) {
+		t.Errorf("%s: SubLosses differ", label)
+	}
+	if got.Iterations != want.Iterations || got.SubproblemSolves != want.SubproblemSolves {
+		t.Errorf("%s: trajectory differs: iters %d vs %d, solves %d vs %d",
+			label, got.Iterations, want.Iterations, got.SubproblemSolves, want.SubproblemSolves)
+	}
+}
+
+// TestOfflineBatchOracleIdentity: the batched LP path (default) is
+// bit-identical by construction to per-scenario Problem solves (NoBatch,
+// the oracle) — same trajectory, same pivot counts, same outputs.
+func TestOfflineBatchOracleIdentity(t *testing.T) {
+	inst := sprintInstance(t)
+	batch, err := Offline(inst, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := Offline(inst, Options{Workers: 2, NoBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOffline(t, "batch vs oracle", batch, oracle)
+	bm, om := batch.Report.Metrics.Canonical(), oracle.Report.Metrics.Canonical()
+	if bm.LP.Pivots != om.LP.Pivots || bm.LP.Phase1Pivots != om.LP.Phase1Pivots {
+		t.Errorf("pivot trajectories differ: batch %d/%d, oracle %d/%d",
+			bm.LP.Pivots, bm.LP.Phase1Pivots, om.LP.Pivots, om.LP.Phase1Pivots)
+	}
+}
+
+// TestOfflineWarmMatchesCold: on instances whose LP path is non-degenerate
+// (sprint, triangle) warm starting changes the route, not the destination —
+// the full result matches the cold run bit for bit, with measurably fewer
+// pivots. (On degenerate instances warm runs are objective-equivalent but
+// may follow a different, equally optimal trajectory; see DESIGN.md §12.)
+func TestOfflineWarmMatchesCold(t *testing.T) {
+	inst := sprintInstance(t)
+	cold, err := Offline(inst, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Offline(inst, Options{Workers: 1, WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOffline(t, "warm vs cold", warm, cold)
+
+	wm, cm := warm.Report.Metrics.Canonical(), cold.Report.Metrics.Canonical()
+	if wm.LP.WarmStarts == 0 {
+		t.Error("warm run installed no start basis")
+	}
+	if wm.LP.WarmStartRejected != 0 {
+		t.Errorf("%d cached bases rejected; cache shape management is broken", wm.LP.WarmStartRejected)
+	}
+	if wm.LP.Pivots >= cm.LP.Pivots {
+		t.Errorf("warm run did %d pivots, cold %d; warm starting saved nothing", wm.LP.Pivots, cm.LP.Pivots)
+	}
+	t.Logf("pivots: warm %d vs cold %d (%.1f%%), warm starts %d",
+		wm.LP.Pivots, cm.LP.Pivots, 100*float64(wm.LP.Pivots)/float64(cm.LP.Pivots), wm.LP.WarmStarts)
+}
+
+// TestOfflineWarmDeterministicAcrossWorkers: warm runs fix the seed basis
+// with a serial solve before the parallel fan-out, so the warm trajectory —
+// unlike its pivot schedule's wall clock — is identical for every worker
+// count, including the full per-solve counter report.
+func TestOfflineWarmDeterministicAcrossWorkers(t *testing.T) {
+	inst := sprintInstance(t)
+	run := func(workers int) *OfflineResult {
+		res, err := Offline(inst, Options{Workers: workers, WarmStart: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	base := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		sameOffline(t, "workers", got, base)
+		gm, bm := got.Report.Metrics.Canonical(), base.Report.Metrics.Canonical()
+		if gm.LP.Pivots != bm.LP.Pivots || gm.LP.WarmStarts != bm.LP.WarmStarts {
+			t.Errorf("workers=%d: pivots/warmstarts %d/%d, sequential %d/%d",
+				workers, gm.LP.Pivots, gm.LP.WarmStarts, bm.LP.Pivots, bm.LP.WarmStarts)
+		}
+	}
+}
+
+// TestOfflineWarmFaultRetriesCold: a fault on a warm-started attempt must
+// retry cold (hardened, no start basis) and must not poison the basis
+// cache — the degraded run still recovers to exactly the clean warm run's
+// result.
+func TestOfflineWarmFaultRetriesCold(t *testing.T) {
+	inst := triangleInstance()
+	clean, err := Offline(inst, Options{Workers: 2, WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.Script(allScenarioScript(len(inst.Scenarios), faultinject.SingularBasis))
+	got, err := Offline(inst, Options{Workers: 2, WarmStart: true, FaultHook: inj.Hook})
+	if err != nil {
+		t.Fatalf("faulted warm solve: %v", err)
+	}
+	if !got.Report.Degraded() || len(got.Report.Retried) == 0 {
+		t.Fatalf("expected retries in the report, got %+v", got.Report)
+	}
+	if len(got.Report.Skipped) != 0 {
+		t.Fatalf("retryable faults must recover, not skip: %+v", got.Report.Skipped)
+	}
+	for _, f := range got.Report.Retried {
+		if f.Attempts != 2 {
+			t.Fatalf("scenario %d recovered after %d attempts, want 2", f.Scenario, f.Attempts)
+		}
+		if !strings.Contains(f.Err, "singular") {
+			t.Fatalf("retry cause %q does not mention the injected fault", f.Err)
+		}
+	}
+	sameOffline(t, "faulted warm vs clean warm", got, clean)
+}

@@ -1,0 +1,64 @@
+package te
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"flexile/internal/failure"
+	"flexile/internal/lp"
+)
+
+// TestScaleBatchMatchesOracle: the compiled bound-variant path computes the
+// same per-scenario concurrent scale as the per-scenario-built oracle —
+// including +Inf for all-disconnected scenarios — across random instances,
+// cold and warm-started.
+func TestScaleBatchMatchesOracle(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		inst := randomInstance(seed, 8, 14)
+		sb, err := NewScaleBatch(inst)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sv := sb.NewSolver()
+		var seedBasis *lp.Basis
+		scens := append([]failure.Scenario{{Prob: 1}}, inst.Scenarios...)
+		// A scenario killing every edge exercises the +Inf branch.
+		all := make([]int, inst.Topo.G.NumEdges())
+		for e := range all {
+			all[e] = e
+		}
+		scens = append(scens, failure.Scenario{Failed: all})
+		for q, scen := range scens {
+			want, _, _, err := MaxConcurrentScale(inst, scen, nil)
+			if err != nil {
+				t.Fatalf("seed %d q %d oracle: %v", seed, q, err)
+			}
+			got, basis, err := sv.Solve(context.Background(), scen, lp.Options{StartBasis: seedBasis})
+			if err != nil {
+				t.Fatalf("seed %d q %d batch: %v", seed, q, err)
+			}
+			if math.IsInf(want, 1) != math.IsInf(got, 1) {
+				t.Fatalf("seed %d q %d: batch scale %v, oracle %v", seed, q, got, want)
+			}
+			if !math.IsInf(want, 1) && math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("seed %d q %d: batch scale %v, oracle %v", seed, q, got, want)
+			}
+			if seedBasis == nil {
+				seedBasis = basis
+			}
+		}
+	}
+}
+
+// TestScaleBatchRejectsScenDemand: per-scenario traffic matrices change LP
+// coefficients, which bound variants cannot express — compilation must
+// refuse rather than silently mis-solve.
+func TestScaleBatchRejectsScenDemand(t *testing.T) {
+	inst := randomInstance(3, 8, 14)
+	inst.ScenDemand = make([][]float64, len(inst.Scenarios))
+	inst.ScenDemand[0] = make([]float64, inst.NumFlows())
+	if _, err := NewScaleBatch(inst); err == nil {
+		t.Fatal("NewScaleBatch accepted an instance with per-scenario demands")
+	}
+}
