@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race faults obs fuzz scrape golden cover bench bench-json benchgate clean
+.PHONY: ci vet build test race faults obs fuzz scrape chaos golden cover bench bench-json benchgate clean
 
-ci: vet build race faults obs fuzz scrape cover benchgate
+ci: vet build race faults obs fuzz scrape chaos cover benchgate
 
 vet:
 	$(GO) vet ./...
@@ -48,6 +48,15 @@ fuzz:
 # present.
 scrape:
 	$(GO) test -run 'TestScrapeEndToEnd' -count=1 ./cmd/flexile-serve/
+
+# The seeded chaos battery (DESIGN.md §13): drive a live server through
+# overload, corrupt-reload, failing-solve and client-disconnect storms and
+# assert the resilience contract — explicit sheds with Retry-After, marked
+# degraded answers, bit-identical admitted responses, breaker trip and
+# recovery, and a goroutine count that returns to baseline. Race-enabled;
+# client behavior is a pure function of each storm's seed.
+chaos:
+	$(GO) test -race -timeout 15m -count=1 -run 'TestChaos' ./internal/chaos/
 
 # The observability + correctness battery (DESIGN.md §9): obs collector
 # unit tests, the LP property battery (strong duality, complementary

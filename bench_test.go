@@ -6,6 +6,7 @@
 package flexile_test
 
 import (
+	"errors"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -13,6 +14,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -350,6 +352,61 @@ func BenchmarkServeQuery(b *testing.B) {
 		}
 		b.StopTimer()
 		reportPercentiles(b, lat)
+	})
+	// overload runs the admission pipeline hot: a tight per-tenant quota
+	// sheds part of the serial request stream, and a scripted two-failure
+	// burst trips the recompute breaker. The reported shed-rate and
+	// breaker-trips land in BENCH_*.json so the perf trajectory tracks the
+	// overload path alongside the happy paths.
+	b.Run("overload", func(b *testing.B) {
+		collector := obs.New()
+		var computes atomic.Int64
+		srv, err := serve.New(path, serve.Config{
+			CacheSize:        0,
+			Obs:              collector,
+			TenantRate:       50,
+			TenantBurst:      1,
+			BreakerThreshold: 2,
+			BreakerCooldown:  time.Millisecond,
+			ComputeHook: func(int) error {
+				if computes.Add(1) <= 2 {
+					return errors.New("bench: scripted failure burst")
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		overloadQuery := func(i int, tenant string) {
+			req := httptest.NewRequest("GET", urls[i%len(urls)], nil)
+			if tenant != "" {
+				req.Header.Set("X-Tenant", tenant)
+			}
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			switch rec.Code {
+			case 200, 429, 503:
+			case 500: // the scripted burst before the breaker trips
+			default:
+				b.Fatalf("unexpected status %d: %s", rec.Code, rec.Body)
+			}
+		}
+		// Untimed warm-up guarantees the failure burst reaches the solve
+		// path (each request spends a fresh tenant's token, so the quota
+		// can't absorb it) and trips the breaker even at -benchtime 1x.
+		for i := 0; i < 8; i++ {
+			overloadQuery(i, "warm-"+strconv.Itoa(i))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			overloadQuery(i, "")
+		}
+		b.StopTimer()
+		m := collector.Snapshot().Serve
+		shed := m.QuotaRejects + m.DeadlineShed + m.DeadlineExpired + m.BreakerRejects
+		b.ReportMetric(float64(shed)/float64(m.Requests), "shed-rate")
+		b.ReportMetric(float64(m.BreakerTrips), "breaker-trips")
 	})
 }
 

@@ -13,8 +13,19 @@
 //	curl localhost:8080/readyz         # readiness (503 during reloads)
 //
 // SIGHUP reloads the artifact atomically (a failed reload keeps the old
-// one serving); SIGINT/SIGTERM drain in-flight requests and exit. With
-// -metrics the aggregated serving counters are printed as JSON on exit.
+// one serving, and repeated failures trip a circuit breaker that
+// suppresses further attempts for -breaker-cooldown); SIGINT/SIGTERM flip
+// /readyz to 503 first, drain in-flight requests for up to -drain-timeout,
+// then exit. With -metrics the aggregated serving counters are printed as
+// JSON on exit.
+//
+// Overload resilience (DESIGN.md §13): -default-deadline sheds requests
+// predicted to miss their deadline (clients override per request with
+// X-Request-Deadline), -tenant-rate/-tenant-burst enforce per-tenant
+// token-bucket quotas keyed on X-Tenant, and -breaker-threshold trips
+// circuit breakers on consecutive recompute or reload failures — while
+// open, cache misses are answered from the last known good allocation,
+// marked with X-Flexile-Degraded: stale.
 //
 // Logs are structured (log/slog): human-readable text on stderr by
 // default, one JSON object per line with -logjson. Access records can be
@@ -50,6 +61,12 @@ func main() {
 	tracePath := flag.String("trace", "", "write a chrome://tracing timeline to this file at exit")
 	logSample := flag.Int("log-sample", 1, "log one access record per N requests (1 = every request)")
 	logJSON := flag.Bool("logjson", false, "emit logs as JSON instead of text")
+	defaultDeadline := flag.Duration("default-deadline", 0, "deadline applied to requests without X-Request-Deadline (0 = none)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant sustained requests/sec, keyed on X-Tenant (0 disables quotas)")
+	tenantBurst := flag.Float64("tenant-burst", 10, "per-tenant token-bucket burst depth")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures that trip the recompute/reload circuit breakers (0 disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker stays open before probing")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long to wait for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 	if *artifact == "" {
 		fatal(errors.New("-artifact is required"))
@@ -68,11 +85,16 @@ func main() {
 	obs.SetGlobal(collector)
 
 	srv, err := serve.New(*artifact, serve.Config{
-		CacheSize: *cacheSize,
-		Workers:   *workers,
-		Obs:       collector,
-		Log:       logger,
-		LogEvery:  *logSample,
+		CacheSize:        *cacheSize,
+		Workers:          *workers,
+		Obs:              collector,
+		Log:              logger,
+		LogEvery:         *logSample,
+		DefaultDeadline:  *defaultDeadline,
+		TenantRate:       *tenantRate,
+		TenantBurst:      *tenantBurst,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 	})
 	if err != nil {
 		fatal(err)
@@ -115,12 +137,17 @@ func main() {
 
 	select {
 	case <-ctx.Done():
-		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Drain sequence: flip /readyz to 503 first so load balancers stop
+		// routing here, then wait out in-flight requests, then release the
+		// server's own resources (queued detached recomputes unblock).
+		srv.BeginDrain()
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := hs.Shutdown(shutCtx); err != nil {
 			logger.Error("shutdown", "error", err.Error())
 		}
 		<-done // ListenAndServe has returned http.ErrServerClosed
+		srv.Close()
 	case err := <-done:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)

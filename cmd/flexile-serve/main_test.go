@@ -88,6 +88,15 @@ func TestScrapeEndToEnd(t *testing.T) {
 		"-debug-listen", adminAddr,
 		"-logjson",
 		"-log-sample", "2",
+		// Overload-resilience flags, tuned loose enough that the hammer
+		// below is never actually shed: this exercises parsing and the
+		// admission pipeline wiring, not the shedding itself.
+		"-default-deadline", "5s",
+		"-tenant-rate", "1000",
+		"-tenant-burst", "500",
+		"-breaker-threshold", "3",
+		"-breaker-cooldown", "2s",
+		"-drain-timeout", "5s",
 	)
 	var stderr strings.Builder
 	cmd.Stderr = &stderr
@@ -148,6 +157,19 @@ func TestScrapeEndToEnd(t *testing.T) {
 		}
 		if !strings.Contains(text, `flexile_serve_request_duration_seconds_bucket{le="+Inf"}`) {
 			t.Errorf("scrape %s missing +Inf bucket", scrapeURL)
+		}
+		// The overload-resilience families: both breakers closed (0), the
+		// quota tracking the single anonymous bucket, zero sheds.
+		for _, want := range []string{
+			`flexile_serve_breaker_state{breaker="recompute"} 0`,
+			`flexile_serve_breaker_state{breaker="reload"} 0`,
+			"flexile_serve_quota_tenants 1",
+			"flexile_serve_deadline_shed_total 0",
+			"flexile_serve_quota_rejects_total 0",
+		} {
+			if !strings.Contains(text, want) {
+				t.Errorf("scrape %s missing %q", scrapeURL, want)
+			}
 		}
 		goFam := 0
 		for _, line := range strings.Split(text, "\n") {

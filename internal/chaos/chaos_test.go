@@ -1,0 +1,245 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flexile/internal/faultinject"
+	"flexile/internal/obs"
+	"flexile/internal/serve"
+)
+
+// TestChaosOverloadStorm: ten clients hammer a single-slot, cache-disabled
+// server with 120ms deadlines while every solve takes ~30ms. The server
+// must split traffic cleanly into admitted requests (bit-identical bodies,
+// bounded latency) and explicit sheds (Retry-After, reason header) — never
+// a generic 5xx, and never a leak.
+func TestChaosOverloadStorm(t *testing.T) {
+	h := New(t, serve.Config{
+		CacheSize:   0,
+		Workers:     -1,
+		Obs:         obs.New(),
+		ComputeHook: func(int) error { time.Sleep(30 * time.Millisecond); return nil },
+	})
+	rep := h.Storm(StormConfig{
+		Seed:     1,
+		Clients:  10,
+		Requests: 12,
+		Deadline: 120 * time.Millisecond,
+		Jitter:   2 * time.Millisecond,
+	})
+	t.Logf("overload storm: %s p99=%v", rep, rep.P99OK())
+
+	if len(rep.Violations) > 0 {
+		t.Fatalf("overload contract violated:\n%v", rep.Violations)
+	}
+	if rep.OK == 0 || rep.Sheds() == 0 {
+		t.Fatalf("storm must produce both admitted and shed requests: %s", rep)
+	}
+	if rep.Shed["quota"]+rep.Shed["breaker"] != 0 {
+		t.Fatalf("only deadline sheds possible here: %s", rep)
+	}
+	if p99 := rep.P99OK(); p99 > time.Second {
+		t.Fatalf("admitted p99 = %v: queueing leaked into admitted requests", p99)
+	}
+	h.Quiesce(t)
+}
+
+// TestChaosCorruptReloadStorm: a reload cycler alternates runs of corrupt
+// artifact writes with restores while clients keep querying. The old
+// artifact must keep serving bit-identically through every failed reload,
+// the reload breaker must trip and suppress attempts, and a valid reload
+// must eventually land once the cooldown admits a probe.
+func TestChaosCorruptReloadStorm(t *testing.T) {
+	collector := obs.New()
+	h := New(t, serve.Config{
+		CacheSize:        4,
+		Obs:              collector,
+		BreakerThreshold: 3,
+		BreakerCooldown:  150 * time.Millisecond,
+	})
+
+	var suppressed atomic.Int64
+	cyclerDone := make(chan struct{})
+	go func() {
+		defer close(cyclerDone)
+		for i := 0; i < 25; i++ {
+			if i%5 == 4 {
+				h.Restore(t)
+			} else {
+				h.Corrupt(t)
+			}
+			if err := h.Srv.Reload(); errors.Is(err, serve.ErrReloadSuppressed) {
+				suppressed.Add(1)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	rep := h.Storm(StormConfig{Seed: 2, Clients: 6, Requests: 25, Jitter: 3 * time.Millisecond})
+	<-cyclerDone
+	t.Logf("corrupt-reload storm: %s suppressed=%d", rep, suppressed.Load())
+
+	if len(rep.Violations) > 0 {
+		t.Fatalf("serving diverged during reload churn:\n%v", rep.Violations)
+	}
+	if rep.OK == 0 || rep.Degraded+rep.Sheds() != 0 {
+		t.Fatalf("reload churn must not touch the serving path: %s", rep)
+	}
+
+	// Recovery: restore the artifact and retry until the breaker's cooldown
+	// admits the probe that reloads it.
+	h.Restore(t)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := h.Srv.Reload(); err == nil {
+			break
+		} else if errors.Is(err, serve.ErrReloadSuppressed) {
+			suppressed.Add(1)
+		} else {
+			t.Fatalf("recovery reload failed outright: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reload breaker never admitted the recovery probe")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for q := 0; q < h.Scenarios(); q++ {
+		h.Get(t, q)
+	}
+
+	m := collector.Snapshot().Serve
+	if m.ReloadErrors < 3 || m.BreakerTrips < 1 || m.ReloadsSkipped < 1 {
+		t.Fatalf("reload breaker never engaged: %+v (suppressed=%d)", m, suppressed.Load())
+	}
+	if suppressed.Load() != m.ReloadsSkipped {
+		t.Fatalf("suppressed reloads seen by cycler (%d) != counter (%d)", suppressed.Load(), m.ReloadsSkipped)
+	}
+	h.Quiesce(t)
+}
+
+// TestChaosFailingSolveBreakerStorm: every solve fails while the fault
+// window is open. States warmed before the window must degrade to their
+// marked stale answers (never a 5xx), the recompute breaker must trip,
+// cold states must shed with the breaker reason, and once the faults
+// clear the breaker's probe must restore live bit-identical serving.
+func TestChaosFailingSolveBreakerStorm(t *testing.T) {
+	var faultsOn atomic.Bool
+	var attempts atomic.Int64
+	inj := faultinject.New(11, 1.0, faultinject.SingularBasis)
+	collector := obs.New()
+	h := New(t, serve.Config{
+		CacheSize:        0, // no response cache: every request exercises the solve path
+		Obs:              collector,
+		BreakerThreshold: 3,
+		BreakerCooldown:  600 * time.Millisecond,
+		ComputeHook: func(q int) error {
+			if !faultsOn.Load() {
+				return nil
+			}
+			return inj.Hook(q, int(attempts.Add(1)))
+		},
+	})
+
+	// Warm the last-known-good store for all but the last scenario; the
+	// cold one is how we observe the breaker-shed path.
+	cold := h.Scenarios() - 1
+	for q := 0; q < cold; q++ {
+		h.Get(t, q)
+	}
+
+	faultsOn.Store(true)
+	rep := h.Storm(StormConfig{
+		Seed:     3,
+		Clients:  4,
+		Requests: 10,
+		Scenarios: func() []int {
+			warm := make([]int, cold)
+			for q := range warm {
+				warm[q] = q
+			}
+			return warm
+		}(),
+	})
+	t.Logf("failing-solve storm: %s", rep)
+	if len(rep.Violations) > 0 {
+		t.Fatalf("degraded serving violated the contract:\n%v", rep.Violations)
+	}
+	if rep.OK != 0 || rep.Degraded == 0 {
+		t.Fatalf("with every solve failing, warmed states must all degrade: %s", rep)
+	}
+	if m := collector.Snapshot().Serve; m.BreakerTrips < 1 || m.RecomputeErrors < 3 {
+		t.Fatalf("recompute breaker never engaged: %+v", m)
+	}
+
+	// The cold scenario has no stale answer: with the breaker open it must
+	// shed with the breaker reason, not 500.
+	resp, err := http.Get(h.urls[cold])
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("X-Flexile-Shed") != "breaker" {
+		t.Fatalf("cold state under open breaker: %d shed=%q body=%s",
+			resp.StatusCode, resp.Header.Get("X-Flexile-Shed"), body)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("breaker shed without Retry-After: %q", resp.Header.Get("Retry-After"))
+	}
+
+	// Faults clear, the cooldown passes, one probe closes the breaker, and
+	// every scenario — including the cold one — serves live and exact.
+	faultsOn.Store(false)
+	time.Sleep(700 * time.Millisecond)
+	for q := 0; q < h.Scenarios(); q++ {
+		h.Get(t, q)
+	}
+	h.Quiesce(t)
+}
+
+// TestChaosClientDisconnectStorm: clients with a timeout shorter than the
+// solve abandon their requests mid-flight. Detached recomputation means
+// the abandoned solves still complete and fill the cache, the server
+// never errors, and nothing leaks.
+func TestChaosClientDisconnectStorm(t *testing.T) {
+	collector := obs.New()
+	h := New(t, serve.Config{
+		CacheSize:   64,
+		Obs:         collector,
+		ComputeHook: func(int) error { time.Sleep(25 * time.Millisecond); return nil },
+	})
+	rep := h.Storm(StormConfig{
+		Seed:     4,
+		Clients:  8,
+		Requests: 6,
+		Timeout:  10 * time.Millisecond, // shorter than any solve: guaranteed disconnects
+	})
+	t.Logf("disconnect storm: %s", rep)
+	if len(rep.Violations) > 0 {
+		t.Fatalf("disconnect storm violations:\n%v", rep.Violations)
+	}
+	if rep.Disconnect == 0 {
+		t.Fatalf("storm produced no disconnects: %s", rep)
+	}
+
+	// Every abandoned solve must have landed: a full sweep now is all
+	// exact answers, and the counters show completed recomputes with no
+	// errors.
+	for q := 0; q < h.Scenarios(); q++ {
+		h.Get(t, q)
+	}
+	m := collector.Snapshot().Serve
+	if m.RecomputeErrors != 0 || m.Degraded != 0 {
+		t.Fatalf("disconnects caused server-side failures: %+v", m)
+	}
+	if m.Recomputes == 0 || m.CacheHits == 0 {
+		t.Fatalf("detached recomputes did not warm the cache: %+v", m)
+	}
+	h.Quiesce(t)
+}

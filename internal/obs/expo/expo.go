@@ -207,6 +207,17 @@ func (e *Encoder) Gauge(name, help string, v float64, labels ...Label) {
 	}
 }
 
+// GaugeVec emits one gauge family with several labeled samples; values
+// holds one entry per sample, labels one label set per sample.
+func (e *Encoder) GaugeVec(name, help string, values []float64, labels [][]Label) {
+	if !e.header(name, help, "gauge") {
+		return
+	}
+	for i, v := range values {
+		e.sample(name, labels[i], v)
+	}
+}
+
 // Histogram renders an obs.HistSnapshot as a Prometheus histogram family:
 // cumulative _bucket samples over the full shared log-scale bucket scheme
 // (scaled by scale — pass 1e-9 to render nanosecond observations in
@@ -329,10 +340,21 @@ func EncodeSolveMetrics(e *Encoder, m obs.SolveMetrics) {
 	e.Counter("flexile_serve_reloads_total", "Artifact load attempts, initial plus SIGHUP-triggered.", float64(m.Serve.Reloads))
 	e.Counter("flexile_serve_reload_errors_total", "Artifact loads that failed and kept the previous artifact.", float64(m.Serve.ReloadErrors))
 	e.Counter("flexile_serve_gate_waits_total", "Recomputations that queued on a saturated gate.", float64(m.Serve.GateWaits))
+	// Overload resilience (DESIGN.md §13): admission, quotas, breakers,
+	// degraded serving.
+	e.Counter("flexile_serve_quota_rejects_total", "Requests refused by the per-tenant token-bucket quota.", float64(m.Serve.QuotaRejects))
+	e.Counter("flexile_serve_deadline_shed_total", "Requests shed on arrival because the predicted queue wait exceeded their deadline.", float64(m.Serve.DeadlineShed))
+	e.Counter("flexile_serve_deadline_expired_total", "Admitted requests whose deadline or connection expired before the recomputation finished.", float64(m.Serve.DeadlineExpired))
+	e.Counter("flexile_serve_recompute_errors_total", "Online recomputations that failed.", float64(m.Serve.RecomputeErrors))
+	e.Counter("flexile_serve_degraded_total", "Requests answered from the stale last-known-good store.", float64(m.Serve.Degraded))
+	e.Counter("flexile_serve_breaker_trips_total", "Circuit-breaker transitions to the open state (recompute and reload breakers).", float64(m.Serve.BreakerTrips))
+	e.Counter("flexile_serve_breaker_rejects_total", "Requests short-circuited while the recompute breaker was open.", float64(m.Serve.BreakerRejects))
+	e.Counter("flexile_serve_reloads_skipped_total", "Reload attempts suppressed by the open reload breaker.", float64(m.Serve.ReloadsSkipped))
 	// Latency distributions (nanosecond observations rendered in seconds).
 	e.Histogram("flexile_lp_solve_duration_seconds", "Wall-clock time per LP solve.", m.Latency.LPSolve, 1e-9)
 	e.Histogram("flexile_scenario_solve_duration_seconds", "Wall-clock time per Benders scenario subproblem solve.", m.Latency.ScenarioSolve, 1e-9)
 	e.Histogram("flexile_serve_request_duration_seconds", "Wall-clock time per allocation request.", m.Latency.ServeRequest, 1e-9)
+	e.Histogram("flexile_serve_queue_wait_seconds", "Time admitted recomputations spent queued on the saturated gate.", m.Latency.QueueWait, 1e-9)
 }
 
 // WritePage renders a complete exposition page: the collector's snapshot,

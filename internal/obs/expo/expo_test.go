@@ -40,8 +40,11 @@ func fixedMetrics() obs.SolveMetrics {
 	m.Serve = obs.ServeMetrics{
 		Requests: 1000, BadRequests: 7, CacheHits: 800, CacheMisses: 200,
 		Recomputes: 150, FlightShared: 50, Reloads: 3, ReloadErrors: 1, GateWaits: 20,
+		QuotaRejects: 13, DeadlineShed: 17, DeadlineExpired: 6, RecomputeErrors: 4,
+		Degraded: 3, BreakerTrips: 2, BreakerRejects: 8, ReloadsSkipped: 5,
 	}
 	m.Latency.ServeRequest = fixedHist()
+	m.Latency.QueueWait = fixedHist()
 	return m
 }
 

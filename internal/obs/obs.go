@@ -165,9 +165,10 @@ type PoolMetrics struct {
 
 // ServeMetrics aggregates the online allocation server's counters
 // (internal/serve, the flexile-serve daemon). Every field is
-// deterministic given the request/reload sequence except GateWaits,
-// which depends on scheduling; request latency lives in the
-// Latency.ServeRequest histogram, not here.
+// deterministic given the request/reload sequence except the
+// overload-dependent ones — GateWaits, DeadlineShed, DeadlineExpired,
+// FlightShared — which depend on scheduling and load; request latency
+// lives in the Latency.ServeRequest histogram, not here.
 type ServeMetrics struct {
 	// Requests counts allocation queries accepted by the HTTP layer
 	// (including ones that fail validation); BadRequests of those were
@@ -195,6 +196,33 @@ type ServeMetrics struct {
 	// saturated and had to queue for a slot — the serving layer's
 	// overload signal.
 	GateWaits int64 `json:"gate_waits"`
+	// QuotaRejects counts requests refused at admission because the
+	// tenant's token bucket was empty (HTTP 429).
+	QuotaRejects int64 `json:"quota_rejects"`
+	// DeadlineShed counts requests refused on arrival because the
+	// predicted queue wait already exceeded their deadline (HTTP 503
+	// with Retry-After) — overload shed before any work was queued.
+	DeadlineShed int64 `json:"deadline_shed"`
+	// DeadlineExpired counts admitted requests whose deadline (or client
+	// connection) expired before the shared recomputation finished; the
+	// detached computation still ran to completion for later callers.
+	DeadlineExpired int64 `json:"deadline_expired"`
+	// RecomputeErrors counts Online recomputations that failed; each
+	// feeds the recompute circuit breaker's consecutive-failure count.
+	RecomputeErrors int64 `json:"recompute_errors"`
+	// Degraded counts requests answered from the stale last-known-good
+	// store (marked X-Flexile-Degraded) because the live recompute path
+	// failed or the breaker was open.
+	Degraded int64 `json:"degraded"`
+	// BreakerTrips counts transitions of either circuit breaker
+	// (recompute or reload) to the open state; BreakerRejects counts
+	// requests short-circuited while the recompute breaker was open.
+	BreakerTrips   int64 `json:"breaker_trips"`
+	BreakerRejects int64 `json:"breaker_rejects"`
+	// ReloadsSkipped counts reload attempts suppressed by the open
+	// reload breaker — SIGHUP storms against a corrupt artifact stop
+	// hammering the decoder after Threshold consecutive failures.
+	ReloadsSkipped int64 `json:"reloads_skipped"`
 }
 
 // LatencyID names one of the collector's built-in latency histograms.
@@ -209,6 +237,11 @@ const (
 	// LatServeRequest is the allocation server's per-request handler time
 	// (the p50/p99/p99.9 the serving layer is judged on).
 	LatServeRequest
+	// LatQueueWait is the time an admitted cache-miss recomputation spent
+	// queued on the saturated recompute gate before acquiring a slot —
+	// the distribution the deadline-aware admission estimate is judged
+	// against.
+	LatQueueWait
 
 	numLatencies
 )
@@ -220,6 +253,7 @@ type LatencyMetrics struct {
 	LPSolve       HistSnapshot `json:"lp_solve"`
 	ScenarioSolve HistSnapshot `json:"scenario_solve"`
 	ServeRequest  HistSnapshot `json:"serve_request"`
+	QueueWait     HistSnapshot `json:"queue_wait"`
 }
 
 // SolveMetrics is one solve's (or one process's) aggregated observability
@@ -384,6 +418,14 @@ func (c *Collector) AddServe(d ServeMetrics) {
 		atomic.AddInt64(&m.Reloads, d.Reloads)
 		atomic.AddInt64(&m.ReloadErrors, d.ReloadErrors)
 		atomic.AddInt64(&m.GateWaits, d.GateWaits)
+		atomic.AddInt64(&m.QuotaRejects, d.QuotaRejects)
+		atomic.AddInt64(&m.DeadlineShed, d.DeadlineShed)
+		atomic.AddInt64(&m.DeadlineExpired, d.DeadlineExpired)
+		atomic.AddInt64(&m.RecomputeErrors, d.RecomputeErrors)
+		atomic.AddInt64(&m.Degraded, d.Degraded)
+		atomic.AddInt64(&m.BreakerTrips, d.BreakerTrips)
+		atomic.AddInt64(&m.BreakerRejects, d.BreakerRejects)
+		atomic.AddInt64(&m.ReloadsSkipped, d.ReloadsSkipped)
 	}
 }
 
@@ -508,9 +550,18 @@ func (c *Collector) Snapshot() SolveMetrics {
 	sd.Reloads = atomic.LoadInt64(&ss.Reloads)
 	sd.ReloadErrors = atomic.LoadInt64(&ss.ReloadErrors)
 	sd.GateWaits = atomic.LoadInt64(&ss.GateWaits)
+	sd.QuotaRejects = atomic.LoadInt64(&ss.QuotaRejects)
+	sd.DeadlineShed = atomic.LoadInt64(&ss.DeadlineShed)
+	sd.DeadlineExpired = atomic.LoadInt64(&ss.DeadlineExpired)
+	sd.RecomputeErrors = atomic.LoadInt64(&ss.RecomputeErrors)
+	sd.Degraded = atomic.LoadInt64(&ss.Degraded)
+	sd.BreakerTrips = atomic.LoadInt64(&ss.BreakerTrips)
+	sd.BreakerRejects = atomic.LoadInt64(&ss.BreakerRejects)
+	sd.ReloadsSkipped = atomic.LoadInt64(&ss.ReloadsSkipped)
 	out.Latency.LPSolve = c.hists[LatLPSolve].Snapshot()
 	out.Latency.ScenarioSolve = c.hists[LatScenarioSolve].Snapshot()
 	out.Latency.ServeRequest = c.hists[LatServeRequest].Snapshot()
+	out.Latency.QueueWait = c.hists[LatQueueWait].Snapshot()
 	c.poolMu.Lock()
 	if len(c.workerItems) > 0 {
 		pd.WorkerItems = append([]int64(nil), c.workerItems...)

@@ -3,6 +3,8 @@ package par
 import (
 	"context"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Flight is a generic single-flight group: concurrent Do calls with the
@@ -67,11 +69,65 @@ func (f *Flight[K, V]) Do(key K, fn func() (V, error)) (v V, err error, shared b
 	return c.val, c.err, false
 }
 
+// DoDetached is Do with the execution detached from the callers: fn runs
+// on its own goroutine and always runs to completion, even when every
+// waiter gives up, so a client disconnect or deadline can never fail the
+// shared computation other requests are riding (and fn's side effects —
+// cache fills — land regardless). ctx bounds only this caller's wait: when
+// it expires first, the call returns ctx.Err() while fn keeps running.
+// shared reports whether this caller coalesced onto a flight another
+// caller started.
+func (f *Flight[K, V]) DoDetached(ctx context.Context, key K, fn func() (V, error)) (v V, err error, shared bool) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	f.mu.Lock()
+	c, ok := f.m[key]
+	if !ok {
+		c = &flightCall[V]{done: make(chan struct{})}
+		if f.m == nil {
+			f.m = make(map[K]*flightCall[V])
+		}
+		f.m[key] = c
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					c.err = &PanicError{Worker: -1, Item: -1, Value: r}
+				}
+				f.mu.Lock()
+				delete(f.m, key)
+				f.mu.Unlock()
+				close(c.done)
+			}()
+			c.val, c.err = fn()
+		}()
+	}
+	f.mu.Unlock()
+	select {
+	case <-c.done:
+		return c.val, c.err, ok
+	case <-ctx.Done():
+		var zero V
+		return zero, ctx.Err(), ok
+	}
+}
+
 // Gate bounds how many goroutines may run a section concurrently — the
 // allocation server uses one to keep cache-miss recomputations from
 // oversubscribing the CPU when many distinct scenarios are queried at once.
+//
+// Beyond bounding, a Gate estimates: holders report their hold times via
+// ObserveHold, an EWMA of which prices how long a new arrival should
+// expect to queue (EstimatedWait). The serving layer's deadline-aware
+// admission control sheds requests whose predicted wait already exceeds
+// their deadline instead of letting them queue to certain failure.
 type Gate struct {
-	slots chan struct{}
+	slots   chan struct{}
+	waiters atomic.Int64
+	// ewmaHold is an exponentially weighted moving average (α = 1/8) of
+	// observed hold durations, in nanoseconds. 0 until the first
+	// observation, which reads as "no history: admit optimistically".
+	ewmaHold atomic.Int64
 }
 
 // NewGate returns a gate admitting n concurrent holders; n follows the
@@ -83,9 +139,16 @@ func NewGate(n int) *Gate {
 // Enter blocks until a slot is free or ctx is done, returning ctx's error
 // in the latter case. A nil ctx is context.Background().
 func (g *Gate) Enter(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	g.waiters.Add(1)
+	defer g.waiters.Add(-1)
 	select {
 	case g.slots <- struct{}{}:
 		return nil
@@ -114,3 +177,47 @@ func (g *Gate) InUse() int { return len(g.slots) }
 
 // Cap reports the gate's total slot count.
 func (g *Gate) Cap() int { return cap(g.slots) }
+
+// Waiters reports how many Enter calls are currently blocked on a slot.
+func (g *Gate) Waiters() int { return int(g.waiters.Load()) }
+
+// ObserveHold folds one hold duration into the gate's moving average of
+// service times. Holders call it just before Leave; the serving layer
+// wraps its recompute section with it so EstimatedWait tracks the live
+// cost of a solve.
+func (g *Gate) ObserveHold(d time.Duration) {
+	n := d.Nanoseconds()
+	if n < 0 {
+		return
+	}
+	for {
+		old := g.ewmaHold.Load()
+		next := n
+		if old != 0 {
+			next = old + (n-old)/8
+		}
+		if g.ewmaHold.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// EstimatedWait predicts how long a new arrival would wait for a slot:
+// zero when a slot is free, otherwise its queue position (current waiters
+// plus itself, spread across the slots) times the average hold duration.
+// With no hold history the estimate is zero — admit optimistically and
+// let the first observations calibrate it. The answer is an estimate, not
+// a bound: admission control uses it to shed on arrival, not to promise
+// latency.
+func (g *Gate) EstimatedWait() time.Duration {
+	if len(g.slots) < cap(g.slots) {
+		return 0
+	}
+	hold := g.ewmaHold.Load()
+	if hold == 0 {
+		return 0
+	}
+	position := g.waiters.Load() + 1
+	rounds := (position + int64(cap(g.slots)) - 1) / int64(cap(g.slots))
+	return time.Duration(rounds * hold)
+}

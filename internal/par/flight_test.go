@@ -227,3 +227,151 @@ func TestFlightInFlight(t *testing.T) {
 		t.Fatalf("InFlight after call = %d, want 0", f.InFlight())
 	}
 }
+
+func TestFlightDoDetachedCompletesAfterWaiterLeaves(t *testing.T) {
+	var f Flight[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	finished := make(chan struct{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel() // the only waiter abandons the flight
+	}()
+	_, err, shared := f.DoDetached(ctx, "k", func() (int, error) {
+		close(started)
+		<-release
+		defer close(finished)
+		return 42, nil
+	})
+	if !errors.Is(err, context.Canceled) || shared {
+		t.Fatalf("abandoned waiter got (%v, shared=%v), want Canceled unshared", err, shared)
+	}
+	<-started
+	// The detached execution must still run to completion.
+	close(release)
+	select {
+	case <-finished:
+	case <-time.After(time.Second):
+		t.Fatal("detached fn did not complete after the waiter left")
+	}
+	// And the key must be released for later calls.
+	deadline := time.Now().Add(time.Second)
+	for f.InFlight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("key still in flight after detached completion")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	v, err, _ := f.DoDetached(context.Background(), "k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("follow-up call got (%d, %v), want 7", v, err)
+	}
+}
+
+func TestFlightDoDetachedCancelledWaiterDoesNotFailSharers(t *testing.T) {
+	var f Flight[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	// Initiator with a cancelling context.
+	initCtx, cancel := context.WithCancel(context.Background())
+	initDone := make(chan error, 1)
+	go func() {
+		_, err, _ := f.DoDetached(initCtx, "k", func() (int, error) {
+			close(started)
+			<-release
+			return 42, nil
+		})
+		initDone <- err
+	}()
+	<-started
+
+	// A patient sharer rides the same flight.
+	shareDone := make(chan struct{})
+	var shareVal int
+	var shareErr error
+	var shareShared bool
+	go func() {
+		defer close(shareDone)
+		shareVal, shareErr, shareShared = f.DoDetached(context.Background(), "k", func() (int, error) {
+			t.Error("sharer executed fn itself")
+			return 0, nil
+		})
+	}()
+	// Let the sharer park, then cancel the initiator.
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	if err := <-initDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("initiator err = %v, want Canceled", err)
+	}
+	close(release)
+	<-shareDone
+	if shareErr != nil || shareVal != 42 || !shareShared {
+		t.Fatalf("sharer got (%d, %v, shared=%v), want (42, nil, true)", shareVal, shareErr, shareShared)
+	}
+}
+
+func TestFlightDoDetachedPanicBecomesError(t *testing.T) {
+	var f Flight[string, int]
+	_, err, shared := f.DoDetached(context.Background(), "k", func() (int, error) { panic("kaboom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) || shared {
+		t.Fatalf("got (%v, shared=%v), want *PanicError unshared", err, shared)
+	}
+	v, err, _ := f.DoDetached(nil, "k", func() (int, error) { return 1, nil })
+	if err != nil || v != 1 {
+		t.Fatalf("after panic got (%d, %v), want 1", v, err)
+	}
+}
+
+func TestGateWaitersAndEstimate(t *testing.T) {
+	g := NewGate(1)
+	if g.EstimatedWait() != 0 {
+		t.Fatal("empty gate estimates nonzero wait")
+	}
+	if !g.TryEnter() {
+		t.Fatal("TryEnter failed")
+	}
+	// Full gate but no hold history: still estimates zero (optimistic).
+	if g.EstimatedWait() != 0 {
+		t.Fatal("no-history estimate must be zero")
+	}
+	g.ObserveHold(80 * time.Millisecond)
+	if est := g.EstimatedWait(); est != 80*time.Millisecond {
+		t.Fatalf("estimate with 0 waiters = %v, want 80ms (one EWMA sample)", est)
+	}
+
+	// Park a waiter; the estimate scales with queue depth.
+	entered := make(chan struct{})
+	go func() {
+		g.Enter(context.Background())
+		close(entered)
+	}()
+	deadline := time.Now().Add(time.Second)
+	for g.Waiters() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if est := g.EstimatedWait(); est != 160*time.Millisecond {
+		t.Fatalf("estimate with 1 waiter = %v, want 160ms", est)
+	}
+	g.Leave()
+	<-entered
+	if g.Waiters() != 0 {
+		t.Fatalf("waiters after entry = %d, want 0", g.Waiters())
+	}
+	g.Leave()
+
+	// EWMA folds new observations at α=1/8.
+	g.ObserveHold(160 * time.Millisecond)
+	g.TryEnter()
+	want := 80*time.Millisecond + (160*time.Millisecond-80*time.Millisecond)/8
+	if est := g.EstimatedWait(); est != want {
+		t.Fatalf("EWMA estimate = %v, want %v", est, want)
+	}
+	g.Leave()
+}

@@ -21,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"flexile/internal/admit"
 	"flexile/internal/obs"
 	"flexile/internal/obs/expo"
 	"flexile/internal/par"
@@ -57,6 +58,38 @@ type Config struct {
 	// LogEvery samples access records: n > 1 logs one request in every n.
 	// 0 and 1 log every request. Lifecycle events are never sampled.
 	LogEvery int
+
+	// --- overload resilience (DESIGN.md §13) ---
+
+	// DefaultDeadline applies to allocation queries that carry no
+	// X-Request-Deadline header. A deadline bounds the whole request: on
+	// arrival, a cache miss whose predicted gate wait already exceeds it
+	// is shed with 503 + Retry-After; once admitted, the wait for the
+	// shared recomputation is cut off at the deadline. 0 means no
+	// deadline — requests queue indefinitely (the pre-admission
+	// behavior).
+	DefaultDeadline time.Duration
+	// TenantRate and TenantBurst configure per-tenant token-bucket
+	// quotas keyed on the X-Tenant header; requests without the header
+	// share one fair-share default bucket. TenantRate <= 0 disables
+	// quotas. TenantBurst below 1 is clamped to 1.
+	TenantRate  float64
+	TenantBurst float64
+	// BreakerThreshold consecutive failures trip a circuit breaker; 0
+	// disables both breakers. The recompute breaker opens after that
+	// many consecutive Online failures and short-circuits misses into
+	// degraded (stale) answers; the reload breaker opens after that many
+	// consecutive reload failures and suppresses further reload attempts
+	// until BreakerCooldown has passed (then admits one probe).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before
+	// admitting a half-open probe. 0 defaults to 5s.
+	BreakerCooldown time.Duration
+	// ComputeHook, when non-nil, runs at the start of every Online
+	// recomputation with the scenario index; a returned error (or panic)
+	// fails the recomputation. The chaos harness uses it with
+	// internal/faultinject to script slow and failing solves.
+	ComputeHook func(scenario int) error
 }
 
 func (c Config) collector() *obs.Collector {
@@ -91,9 +124,30 @@ type Server struct {
 	mux  *http.ServeMux
 	gate *par.Gate
 
+	// base outlives any single request: detached recomputations queue on
+	// the gate under it, so a client disconnect cannot cancel the solve
+	// other waiters are riding. Close cancels it at server teardown.
+	base       context.Context
+	cancelBase context.CancelFunc
+
+	// quota and the two breakers are nil when disabled in Config — the
+	// admit package's nil receivers admit everything.
+	quota         *admit.Quota
+	compBreaker   *admit.Breaker
+	reloadBreaker *admit.Breaker
+
+	// stale is the last-known-good store backing degraded responses:
+	// failedKey → the last successfully computed response bytes, kept
+	// across artifact swaps and recompute failures. Entries are only
+	// served with an explicit X-Flexile-Degraded marker when the live
+	// path cannot answer (stale-while-revalidate).
+	staleMu sync.RWMutex
+	stale   map[string][]byte
+
 	reloadMu  sync.Mutex // serializes Reload (attempt numbering + swap order)
 	attempts  int
 	reloading atomic.Bool // true while a (re)load is decoding — /readyz says 503
+	draining  atomic.Bool // true after BeginDrain — /readyz says 503 for LB drain
 	logSeq    atomic.Int64
 	st        atomicState
 }
@@ -120,7 +174,17 @@ func (a *atomicState) store(s *state) {
 // New loads the artifact at path and returns a ready server. The initial
 // load uses the same validation and hook path as SIGHUP reloads.
 func New(path string, cfg Config) (*Server, error) {
-	s := &Server{cfg: cfg, path: path, gate: par.NewGate(cfg.Workers)}
+	s := &Server{
+		cfg:   cfg,
+		path:  path,
+		gate:  par.NewGate(cfg.Workers),
+		quota: admit.NewQuota(admit.QuotaConfig{Rate: cfg.TenantRate, Burst: cfg.TenantBurst}),
+		stale: make(map[string][]byte),
+	}
+	bcfg := admit.BreakerConfig{Threshold: cfg.BreakerThreshold, Cooldown: cfg.BreakerCooldown}
+	s.compBreaker = admit.NewBreaker(bcfg)
+	s.reloadBreaker = admit.NewBreaker(bcfg)
+	s.base, s.cancelBase = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
@@ -218,13 +282,33 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	)
 }
 
+// ErrReloadSuppressed wraps reload attempts short-circuited by the open
+// reload breaker: after BreakerThreshold consecutive reload failures the
+// server stops re-reading and re-validating the (presumably still broken)
+// artifact file until the cooldown admits a probe. The previous artifact
+// keeps serving throughout.
+var ErrReloadSuppressed = errors.New("serve: reload suppressed by open breaker")
+
 // Reload re-reads the artifact file, validates it, and atomically swaps it
 // in. On any failure — including a panic while decoding or instantiating —
 // the previous artifact keeps serving and the error is returned. The
-// allocation cache starts empty after a successful reload.
+// allocation cache starts empty after a successful reload. When the reload
+// breaker is open the attempt is suppressed entirely (no file read, no
+// LoadHook) and a wrapped ErrReloadSuppressed is returned.
 func (s *Server) Reload() (err error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
+	if ok, retry := s.reloadBreaker.Allow(); !ok {
+		if c := s.cfg.collector(); c != nil {
+			c.AddServe(obs.ServeMetrics{ReloadsSkipped: 1})
+		}
+		if lg := s.cfg.Log; lg != nil {
+			lg.LogAttrs(context.Background(), slog.LevelWarn, "reload suppressed",
+				slog.String("path", s.path),
+				slog.Duration("retry_after", retry))
+		}
+		return fmt.Errorf("%w (retry in %v)", ErrReloadSuppressed, retry)
+	}
 	s.reloading.Store(true)
 	s.attempts++
 	attempt := s.attempts
@@ -233,12 +317,28 @@ func (s *Server) Reload() (err error) {
 			err = fmt.Errorf("serve: reload panic: %v", r)
 		}
 		s.reloading.Store(false)
+		var tripped bool
+		if err != nil {
+			tripped = s.reloadBreaker.Failure()
+		} else {
+			s.reloadBreaker.Success()
+		}
 		if c := s.cfg.collector(); c != nil {
 			d := obs.ServeMetrics{Reloads: 1}
 			if err != nil {
 				d.ReloadErrors = 1
 			}
+			if tripped {
+				d.BreakerTrips = 1
+			}
 			c.AddServe(d)
+		}
+		if tripped {
+			if lg := s.cfg.Log; lg != nil {
+				lg.LogAttrs(context.Background(), slog.LevelError, "reload breaker opened",
+					slog.Int("attempt", attempt),
+					slog.String("path", s.path))
+			}
 		}
 		if lg := s.cfg.Log; lg != nil {
 			if err != nil {
@@ -327,6 +427,56 @@ func (s *Server) WatchHUP(onErr func(error)) (stop func()) {
 			<-finished
 		})
 	}
+}
+
+// BeginDrain flips /readyz to 503 so load balancers stop routing new
+// traffic here, while /v1/alloc keeps answering in-flight and straggler
+// queries. Call it on SIGINT/SIGTERM *before* http.Server.Shutdown: the
+// readiness probe goes dark first, the LB drains, and only then are
+// connections torn down.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		if lg := s.cfg.Log; lg != nil {
+			lg.LogAttrs(context.Background(), slog.LevelInfo, "draining",
+				slog.String("reason", "readiness flipped to 503 ahead of shutdown"))
+		}
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close cancels the server's base context, releasing any detached
+// recomputations still queued on the gate. Call it after the HTTP
+// listener has shut down; the server must not serve requests afterwards.
+func (s *Server) Close() { s.cancelBase() }
+
+// --- stale last-known-good store (degraded responses) ---
+
+// staleCap bounds the last-known-good store. Keys are enumerated failure
+// states, so the bound is a safety net against pathological artifact
+// churn, not a working-set limit.
+const staleCap = 65536
+
+func (s *Server) staleGet(key string) ([]byte, bool) {
+	s.staleMu.RLock()
+	defer s.staleMu.RUnlock()
+	b, ok := s.stale[key]
+	return b, ok
+}
+
+func (s *Server) stalePut(key string, body []byte) {
+	s.staleMu.Lock()
+	defer s.staleMu.Unlock()
+	if _, exists := s.stale[key]; !exists && len(s.stale) >= staleCap {
+		// At capacity: drop an arbitrary entry. Losing a stale answer only
+		// costs a future degraded response, never a correct one.
+		for k := range s.stale {
+			delete(s.stale, k)
+			break
+		}
+	}
+	s.stale[key] = body
 }
 
 // --- request parsing ---
@@ -457,11 +607,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 // handleReady is the readiness probe, distinct from the /healthz liveness
 // probe: not-ready (503 with a JSON reason) before the first artifact has
-// decoded and while a hot reload is decoding a replacement; the previous
-// artifact keeps answering /v1/alloc throughout, so load balancers drain
-// traffic without dropping in-flight queries.
+// decoded, while a hot reload is decoding a replacement, and after
+// BeginDrain; the previous artifact keeps answering /v1/alloc throughout,
+// so load balancers drain traffic without dropping in-flight queries.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"ready": false, "reason": "draining"})
+		return
+	}
 	if s.reloading.Load() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		json.NewEncoder(w).Encode(map[string]any{"ready": false, "reason": "artifact reload in progress"})
@@ -494,12 +649,25 @@ func (s *Server) MetricsHandler() http.Handler { return http.HandlerFunc(s.handl
 func (s *Server) extraMetrics(e *expo.Encoder) {
 	st := s.st.load()
 	ready := 0.0
-	if st != nil && !s.reloading.Load() {
+	if st != nil && !s.reloading.Load() && !s.draining.Load() {
 		ready = 1
 	}
 	e.Gauge("flexile_serve_ready", "Whether /readyz currently reports ready.", ready)
 	e.Gauge("flexile_serve_gate_in_use", "Recomputation-gate slots currently held.", float64(s.gate.InUse()))
 	e.Gauge("flexile_serve_gate_capacity", "Total recomputation-gate slots.", float64(s.gate.Cap()))
+	e.Gauge("flexile_serve_gate_waiters", "Recomputations currently queued for a gate slot.", float64(s.gate.Waiters()))
+	e.Gauge("flexile_serve_gate_estimated_wait_seconds", "Predicted queue wait for a new arrival (EWMA of hold times).", s.gate.EstimatedWait().Seconds())
+	if s.quota != nil {
+		e.Gauge("flexile_serve_quota_tenants", "Tenant token buckets currently tracked.", float64(s.quota.Tenants()))
+	}
+	if s.compBreaker != nil && s.reloadBreaker != nil {
+		e.GaugeVec("flexile_serve_breaker_state", "Circuit-breaker state (0 closed, 1 open, 2 half-open).",
+			[]float64{float64(s.compBreaker.State()), float64(s.reloadBreaker.State())},
+			[][]expo.Label{
+				{{Name: "breaker", Value: "recompute"}},
+				{{Name: "breaker", Value: "reload"}},
+			})
+	}
 	if st != nil {
 		e.Gauge("flexile_serve_cache_entries", "Allocation-cache entries resident.", float64(st.cache.len()))
 		e.Gauge("flexile_serve_flight_in_flight", "Distinct scenarios with a recomputation in flight.", float64(st.flight.InFlight()))
@@ -546,6 +714,27 @@ func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
 	json.NewEncoder(w).Encode(out)
 }
 
+// writeShed refuses a request at admission: Retry-After carries the
+// backoff hint in whole seconds, X-Flexile-Shed names the admission stage
+// that refused (quota | deadline | breaker) so clients and the chaos
+// harness can tell the paths apart.
+func writeShed(w http.ResponseWriter, code int, reason string, retryAfter time.Duration, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(admit.RetryAfterSeconds(retryAfter)))
+	w.Header().Set("X-Flexile-Shed", reason)
+	writeError(w, code, msg)
+}
+
+// handleAlloc is the allocation query path, staged so overload is refused
+// as early and cheaply as possible (DESIGN.md §13):
+//
+//  1. tenant quota (token bucket, X-Tenant) → 429 + Retry-After
+//  2. deadline parse (X-Request-Deadline, -default-deadline)
+//  3. request parse + scenario lookup (unchanged)
+//  4. cache hit → answer immediately
+//  5. deadline-aware admission: predicted gate wait > deadline → 503 shed
+//  6. recompute-breaker short circuit → stale degraded answer or 503
+//  7. detached single-flight recompute; this caller waits at most its
+//     deadline, the computation itself always completes
 func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var d obs.ServeMetrics
@@ -557,6 +746,18 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 	rec, _ := w.(*accessRecorder) // non-nil only on sampled, logged requests
+
+	if ok, retry := s.quota.Allow(r.Header.Get("X-Tenant")); !ok {
+		d.QuotaRejects = 1
+		writeShed(w, http.StatusTooManyRequests, "quota", retry, "tenant quota exceeded")
+		return
+	}
+	deadline, derr := admit.ParseDeadline(r.Header.Get("X-Request-Deadline"), s.cfg.DefaultDeadline)
+	if derr != nil {
+		d.BadRequests = 1
+		writeError(w, http.StatusBadRequest, derr.Error())
+		return
+	}
 
 	var req *AllocRequest
 	var err error
@@ -578,7 +779,8 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	}
 
 	st := s.st.load()
-	q, ok := st.scenIndex[failedKey(req.Failed)]
+	key := failedKey(req.Failed)
+	q, ok := st.scenIndex[key]
 	if !ok {
 		d.BadRequests = 1
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no enumerated scenario matches failed edges %v", req.Failed))
@@ -600,33 +802,68 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	}
 	d.CacheMisses = 1
 
-	body, cerr, shared := st.flight.Do(q, func() ([]byte, error) {
-		if !s.gate.TryEnter() {
-			// Saturated: count the queueing and wait for a slot.
-			d.GateWaits = 1
-			if lg := s.cfg.Log; lg != nil {
-				lg.LogAttrs(r.Context(), slog.LevelDebug, "gate saturated",
-					slog.Int("scenario", q),
-					slog.Int("capacity", s.gate.Cap()))
-			}
-			if gerr := s.gate.Enter(r.Context()); gerr != nil {
-				return nil, gerr
-			}
+	// Deadline-aware admission: a miss that would queue past its deadline
+	// is refused now, while the refusal is still cheap, instead of
+	// occupying a waiter slot to certain failure.
+	if deadline > 0 {
+		if est := s.gate.EstimatedWait(); est > deadline {
+			d.DeadlineShed = 1
+			writeShed(w, http.StatusServiceUnavailable, "deadline", est,
+				fmt.Sprintf("predicted queue wait %v exceeds request deadline %v", est, deadline))
+			return
 		}
-		defer s.gate.Leave()
-		return computeAlloc(st, q)
+	}
+
+	// Recompute breaker: while open, don't touch the failing solve path —
+	// serve the last known good answer, explicitly marked degraded, or
+	// shed if this failure state has never been answered.
+	if ok, retry := s.compBreaker.Allow(); !ok {
+		d.BreakerRejects = 1
+		if stale, degOK := s.staleGet(key); degOK {
+			d.Degraded = 1
+			s.serveDegraded(w, rec, stale)
+			return
+		}
+		writeShed(w, http.StatusServiceUnavailable, "breaker", retry,
+			"recompute breaker open and no stale answer for this failure state")
+		return
+	}
+
+	// Admitted. The wait is bounded by the request deadline and the client
+	// connection; the recomputation itself runs detached under the
+	// server's lifetime, so neither a disconnect nor a deadline can fail
+	// the computation other waiters are riding (or waste the solve — the
+	// result still lands in the cache).
+	waitCtx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		waitCtx, cancel = context.WithDeadline(waitCtx, start.Add(deadline))
+		defer cancel()
+	}
+	body, cerr, shared := st.flight.DoDetached(waitCtx, q, func() ([]byte, error) {
+		return s.recompute(st, q, key)
 	})
 	if shared {
 		d.FlightShared = 1
-	} else {
-		d.Recomputes = 1
 	}
 	if cerr != nil {
+		if errors.Is(cerr, context.DeadlineExceeded) || errors.Is(cerr, context.Canceled) {
+			// Deadline or client gone while waiting; the detached solve
+			// continues for whoever asks next.
+			d.DeadlineExpired = 1
+			writeShed(w, http.StatusServiceUnavailable, "deadline", s.gate.EstimatedWait(),
+				"deadline expired before the allocation completed")
+			return
+		}
+		// The recomputation itself failed: degrade to the last known good
+		// answer when one exists.
+		if stale, degOK := s.staleGet(key); degOK {
+			d.Degraded = 1
+			s.serveDegraded(w, rec, stale)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, cerr.Error())
 		return
-	}
-	if !shared {
-		st.cache.put(q, body)
 	}
 	if rec != nil {
 		if shared {
@@ -638,6 +875,97 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Flexile-Cache", "miss")
 	w.Write(body)
+}
+
+// serveDegraded answers from the last-known-good store: HTTP 200 with the
+// explicit X-Flexile-Degraded marker so clients can tell a stale answer
+// (possibly computed from a previous artifact) from a live one.
+func (s *Server) serveDegraded(w http.ResponseWriter, rec *accessRecorder, body []byte) {
+	if rec != nil {
+		rec.cache = "stale"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Flexile-Cache", "stale")
+	w.Header().Set("X-Flexile-Degraded", "stale")
+	w.Write(body)
+}
+
+// recompute is the detached single-flight executor for one scenario: it
+// queues on the gate under the server's base context (never a request's),
+// runs the Online solve, feeds the recompute breaker, and on success
+// fills both the per-artifact cache and the last-known-good store — side
+// effects that land even if every waiter has already given up. Counters
+// are flushed directly to the collector because the executor can outlive
+// the request whose handler spawned it.
+func (s *Server) recompute(st *state, q int, key string) ([]byte, error) {
+	col := s.cfg.collector()
+	if !s.gate.TryEnter() {
+		if col != nil {
+			col.AddServe(obs.ServeMetrics{GateWaits: 1})
+		}
+		if lg := s.cfg.Log; lg != nil {
+			lg.LogAttrs(context.Background(), slog.LevelDebug, "gate saturated",
+				slog.Int("scenario", q),
+				slog.Int("capacity", s.gate.Cap()),
+				slog.Int("waiters", s.gate.Waiters()))
+		}
+		queued := time.Now()
+		if gerr := s.gate.Enter(s.base); gerr != nil {
+			return nil, fmt.Errorf("serve: server closed while queued for recompute: %w", gerr)
+		}
+		if col != nil {
+			col.ObserveLatency(obs.LatQueueWait, time.Since(queued))
+		}
+	}
+	entered := time.Now()
+	defer func() {
+		s.gate.ObserveHold(time.Since(entered))
+		s.gate.Leave()
+	}()
+
+	var body []byte
+	err := func() (rerr error) {
+		// A panicking solve must still feed the breaker, so recover here
+		// rather than leaving it to the flight's safety net.
+		defer func() {
+			if r := recover(); r != nil {
+				rerr = fmt.Errorf("serve: recompute panic: %v", r)
+			}
+		}()
+		if hook := s.cfg.ComputeHook; hook != nil {
+			if herr := hook(q); herr != nil {
+				return herr
+			}
+		}
+		var cerr error
+		body, cerr = computeAlloc(st, q)
+		return cerr
+	}()
+	if err != nil {
+		tripped := s.compBreaker.Failure()
+		if col != nil {
+			dm := obs.ServeMetrics{RecomputeErrors: 1}
+			if tripped {
+				dm.BreakerTrips = 1
+			}
+			col.AddServe(dm)
+		}
+		if tripped {
+			if lg := s.cfg.Log; lg != nil {
+				lg.LogAttrs(context.Background(), slog.LevelError, "recompute breaker opened",
+					slog.Int("scenario", q),
+					slog.String("error", err.Error()))
+			}
+		}
+		return nil, err
+	}
+	s.compBreaker.Success()
+	if col != nil {
+		col.AddServe(obs.ServeMetrics{Recomputes: 1})
+	}
+	st.cache.put(q, body)
+	s.stalePut(key, body)
+	return body, nil
 }
 
 // computeAlloc runs the online allocation for scenario q and marshals the

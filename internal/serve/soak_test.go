@@ -7,12 +7,15 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"testing"
+	"time"
 
 	"flexile/internal/faultinject"
 	"flexile/internal/obs"
@@ -168,4 +171,148 @@ func TestServeSoakFaultReload(t *testing.T) {
 	if m.CacheHits+m.CacheMisses != m.Requests {
 		t.Fatalf("cache counters don't add up: %+v", m)
 	}
+}
+
+// TestServeSoakSustainedOverload drives far more concurrent demand than
+// the single-slot recompute gate can serve, with caching disabled so every
+// request is a full solve, and checks the overload contract end to end:
+// every refusal is an explicit shed (503 + Retry-After + X-Flexile-Shed),
+// every success is bit-identical to the library allocation, the latency of
+// admitted requests stays bounded by their deadline instead of growing
+// with the queue, and the goroutine count returns to its baseline once the
+// storm passes (nothing leaked by detached recomputes or expired waiters).
+func TestServeSoakSustainedOverload(t *testing.T) {
+	path, inst, off, opt := writeArtifact(t)
+	baseline := runtime.NumGoroutine()
+
+	const holdFor = 20 * time.Millisecond
+	const deadline = "150ms"
+	collector := obs.New()
+	srv, err := New(path, Config{
+		CacheSize:   0,  // every request recomputes: sustained pressure
+		Workers:     -1, // one gate slot: trivially saturated
+		Obs:         collector,
+		ComputeHook: func(int) error { time.Sleep(holdFor); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+
+	expected := make(map[int][]byte, len(inst.Scenarios))
+	urls := make([]string, len(inst.Scenarios))
+	for q, scen := range inst.Scenarios {
+		res, err := flexscheme.Online(inst, off, q, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := json.Marshal(AllocResponse{Scenario: q, Prob: scen.Prob, Frac: res.Frac, X: res.X})
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected[q] = body
+		var parts []string
+		for _, e := range scen.Failed {
+			parts = append(parts, strconv.Itoa(e))
+		}
+		urls[q] = ts.URL + "/v1/alloc?failed=" + strings.Join(parts, ",")
+	}
+
+	const clients = 12
+	const perClient = 15
+	var (
+		mu        sync.Mutex
+		okLats    []time.Duration
+		successes int
+		sheds     int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				q := (i*clients + w) % len(urls)
+				req, err := http.NewRequest(http.MethodGet, urls[q], nil)
+				if err != nil {
+					t.Errorf("client %d: %v", w, err)
+					return
+				}
+				req.Header.Set("X-Request-Deadline", deadline)
+				begin := time.Now()
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Errorf("client %d: %v", w, err)
+					return
+				}
+				lat := time.Since(begin)
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("client %d: read: %v", w, err)
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if !bytes.Equal(body, expected[q]) {
+						t.Errorf("client %d scenario %d: body diverged under overload", w, q)
+						return
+					}
+					mu.Lock()
+					successes++
+					okLats = append(okLats, lat)
+					mu.Unlock()
+				case http.StatusServiceUnavailable:
+					if resp.Header.Get("X-Flexile-Shed") != "deadline" {
+						t.Errorf("client %d: shed reason %q", w, resp.Header.Get("X-Flexile-Shed"))
+						return
+					}
+					if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+						t.Errorf("client %d: shed without usable Retry-After (%q)", w, resp.Header.Get("Retry-After"))
+						return
+					}
+					mu.Lock()
+					sheds++
+					mu.Unlock()
+				default:
+					// The overload contract: refusals are explicit sheds,
+					// never generic 5xx.
+					t.Errorf("client %d scenario %d: status %d: %s", w, q, resp.StatusCode, body)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if successes == 0 || sheds == 0 {
+		t.Fatalf("storm produced %d successes / %d sheds; want both > 0", successes, sheds)
+	}
+	// Admitted requests are bounded by deadline + one solve + slack; the
+	// generous cap still catches unbounded queueing, which would run to
+	// seconds here.
+	sort.Slice(okLats, func(i, j int) bool { return okLats[i] < okLats[j] })
+	if p99 := okLats[len(okLats)*99/100]; p99 > time.Second {
+		t.Fatalf("admitted-request p99 = %v; overload is leaking into admitted latency", p99)
+	}
+
+	m := collector.Snapshot().Serve
+	if m.Requests != clients*perClient {
+		t.Fatalf("Requests = %d, want %d", m.Requests, clients*perClient)
+	}
+	if m.DeadlineShed+m.DeadlineExpired != int64(sheds) {
+		t.Fatalf("shed counters %d+%d don't match observed %d sheds", m.DeadlineShed, m.DeadlineExpired, sheds)
+	}
+	if m.RecomputeErrors != 0 || m.Degraded != 0 {
+		t.Fatalf("clean overload must not produce errors or degraded answers: %+v", m)
+	}
+
+	// Quiesce: detached recomputes finish, connections close, and the
+	// goroutine count returns to its pre-storm baseline.
+	st := srv.st.load()
+	waitFor(t, func() bool { return st.flight.InFlight() == 0 && srv.gate.InUse() == 0 })
+	ts.Close()
+	srv.Close()
+	http.DefaultClient.CloseIdleConnections()
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= baseline+2 })
 }
