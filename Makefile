@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race faults obs fuzz scrape chaos golden cover bench bench-json benchgate clean
+.PHONY: ci vet build test race faults obs fuzz scrape chaos loadsmoke golden cover bench bench-json benchgate clean
 
-ci: vet build race faults obs fuzz scrape chaos cover benchgate
+ci: vet build race faults obs fuzz scrape chaos loadsmoke cover benchgate
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +38,8 @@ FUZZTIME ?= 15s
 fuzz:
 	$(GO) test -fuzz 'FuzzDecodeArtifact' -fuzztime $(FUZZTIME) -run '^$$' ./internal/serve/
 	$(GO) test -fuzz 'FuzzParseRequest' -fuzztime $(FUZZTIME) -run '^$$' ./internal/serve/
+	$(GO) test -fuzz 'FuzzParseBatchRequest' -fuzztime $(FUZZTIME) -run '^$$' ./internal/serve/
+	$(GO) test -fuzz 'FuzzResolveArtifactName' -fuzztime $(FUZZTIME) -run '^$$' ./internal/serve/
 
 # Live telemetry check (DESIGN.md §11): build the real flexile-serve
 # binary, start it on loopback ports, hammer /v1/alloc a known number of
@@ -57,6 +59,14 @@ scrape:
 # client behavior is a pure function of each storm's seed.
 chaos:
 	$(GO) test -race -timeout 15m -count=1 -run 'TestChaos' ./internal/chaos/
+
+# Load-generator smoke (DESIGN.md §14): build the real flexile-serve and
+# flexile-load binaries, drive a short seeded open-loop storm at a
+# two-artifact registry, and assert the benchjson report parses with sane
+# p99 latency, zero unexplained sheds, and client-side hit/dedup/entry
+# counts that exactly match the server's own /metrics counters.
+loadsmoke:
+	$(GO) test -run 'TestLoadEndToEnd' -count=1 ./cmd/flexile-load/
 
 # The observability + correctness battery (DESIGN.md §9): obs collector
 # unit tests, the LP property battery (strong duality, complementary

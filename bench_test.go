@@ -6,7 +6,11 @@
 package flexile_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -408,6 +412,118 @@ func BenchmarkServeQuery(b *testing.B) {
 		b.ReportMetric(float64(shed)/float64(m.Requests), "shed-rate")
 		b.ReportMetric(float64(m.BreakerTrips), "breaker-trips")
 	})
+}
+
+// BenchmarkServeBatch measures what batching buys per HTTP round-trip on a
+// warm cache: one POST /v1/alloc/batch carrying 32 queries versus 32
+// single GETs. The amortization-x metric — single round-trips per batch
+// round-trip at equal query count — is the headline (the PR 8 floor is
+// 3×); p50/p99 track the batch path's own tail.
+func BenchmarkServeBatch(b *testing.B) {
+	inst, err := tinyCfg().SingleClass("IBM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	design, err := flexile.Design(inst, flexile.DesignOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob, err := flexile.ExportArtifact(inst, design, flexile.DesignOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.flxa")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := serve.New(path, serve.Config{CacheSize: len(inst.Scenarios), Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	// Real loopback HTTP, not in-process ServeHTTP: the quantity under test
+	// is per-round-trip overhead (connection handling, request parse,
+	// header writes, syscalls), which is exactly what batching amortizes.
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+
+	const batch = 32
+	queries := make([]serve.BatchQuery, batch)
+	urls := make([]string, batch)
+	for i := range queries {
+		failed := inst.Scenarios[i%len(inst.Scenarios)].Failed
+		queries[i] = serve.BatchQuery{Failed: failed}
+		var parts []string
+		for _, e := range failed {
+			parts = append(parts, strconv.Itoa(e))
+		}
+		urls[i] = ts.URL + "/v1/alloc?failed=" + strings.Join(parts, ",")
+	}
+	body, err := json.Marshal(serve.BatchRequest{Queries: queries})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	roundTrip := func(req *http.Request) time.Duration {
+		start := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("%s %s: status %d", req.Method, req.URL.Path, resp.StatusCode)
+		}
+		return time.Since(start)
+	}
+	single := func(i int) time.Duration {
+		req, err := http.NewRequest("GET", urls[i%batch], nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return roundTrip(req)
+	}
+	postBatch := func() time.Duration {
+		req, err := http.NewRequest("POST", ts.URL+"/v1/alloc/batch", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return roundTrip(req)
+	}
+
+	// Warm every scenario the bodies touch, then measure the single-GET
+	// baseline untimed: mean ns per warm round-trip over a fixed pass.
+	for i := 0; i < batch; i++ {
+		single(i)
+	}
+	postBatch()
+	const baselinePasses = 512
+	var singleTotal time.Duration
+	for i := 0; i < baselinePasses; i++ {
+		singleTotal += single(i)
+	}
+	singleMean := float64(singleTotal) / baselinePasses
+
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lat = append(lat, postBatch())
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var batchTotal time.Duration
+	for _, l := range lat {
+		batchTotal += l
+	}
+	batchMean := float64(batchTotal) / float64(len(lat))
+	b.ReportMetric(batch*singleMean/batchMean, "amortization-x")
+	b.ReportMetric(float64(lat[len(lat)/2].Nanoseconds()), "p50-ns")
+	b.ReportMetric(float64(lat[len(lat)*99/100].Nanoseconds()), "p99-ns")
+	b.ReportMetric(batch, "queries/op")
 }
 
 // BenchmarkPacketEmulation isolates the packet engine on one scenario.

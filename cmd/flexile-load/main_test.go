@@ -1,0 +1,224 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"flexile/internal/benchjson"
+	"flexile/internal/failure"
+	flexscheme "flexile/internal/scheme/flexile"
+	"flexile/internal/serve"
+	"flexile/internal/te"
+	"flexile/internal/topo"
+	"flexile/internal/tunnels"
+)
+
+// writeArtifactDir solves two scaled triangle instances and writes them as
+// a registry directory: alpha.flxa and beta.flxa with different demands.
+func writeArtifactDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for i, name := range []string{"alpha", "beta"} {
+		tp := topo.Triangle()
+		inst := te.NewInstance(tp, []te.Class{
+			{Name: "single", Beta: 0.99, Weight: 1, Tunnels: tunnels.SingleClass(3)},
+		})
+		scale := float64(1 + 2*i)
+		inst.Demand[0][0] = scale
+		inst.Demand[0][1] = scale
+		inst.LinkProbs = []float64{0.01, 0.01, 0.01}
+		inst.Scenarios = failure.Enumerate(inst.LinkProbs, 0)
+		opt := flexscheme.Options{Workers: 2}
+		off, err := flexscheme.Offline(inst, opt)
+		if err != nil {
+			t.Fatalf("offline solve (%s): %v", name, err)
+		}
+		art, err := serve.Build(inst, off, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+serve.ArtifactExt), art.Encode(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitReady(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("server never became ready at %s", url)
+}
+
+// scrapeCounters pulls the untyped/counter sample lines from a /metrics
+// page into a name → value map (labelled families keep their label string).
+func scrapeCounters(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		if v, err := strconv.ParseFloat(val, 64); err == nil {
+			out[name] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestLoadEndToEnd builds the real flexile-serve and flexile-load binaries,
+// drives a short seeded storm at a two-artifact registry, and checks three
+// contracts: the benchjson report parses and accounts every entry with zero
+// errors and zero sheds, the client-side hit/shed/entry counts match the
+// server's own /metrics counters, and -plan output is a pure function of
+// the seed.
+func TestLoadEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binaries")
+	}
+	bindir := t.TempDir()
+	serveBin := filepath.Join(bindir, "flexile-serve")
+	loadBin := filepath.Join(bindir, "flexile-load")
+	for bin, pkg := range map[string]string{serveBin: "flexile/cmd/flexile-serve", loadBin: "flexile/cmd/flexile-load"} {
+		if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	dir := writeArtifactDir(t)
+	addr := freePort(t)
+	daemon := exec.Command(serveBin, "-artifact-dir", dir, "-listen", addr)
+	daemon.Stderr = io.Discard
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Signal(syscall.SIGTERM)
+		daemon.Wait()
+	}()
+	base := "http://" + addr
+	waitReady(t, base+"/readyz")
+
+	// Plan determinism: same seed, byte-identical stream; new seed diverges.
+	planArgs := []string{"-target", base, "-artifacts", "alpha,beta", "-qps", "100",
+		"-duration", "2s", "-batch", "4", "-tenants", "3", "-plan"}
+	planOut := func(seed string) []byte {
+		t.Helper()
+		out, err := exec.Command(loadBin, append([]string{"-seed", seed}, planArgs...)...).Output()
+		if err != nil {
+			t.Fatalf("flexile-load -plan: %v", err)
+		}
+		return out
+	}
+	p1, p2, p3 := planOut("42"), planOut("42"), planOut("43")
+	if !bytes.Equal(p1, p2) {
+		t.Fatal("-plan output differs across runs with the same seed")
+	}
+	if bytes.Equal(p1, p3) {
+		t.Fatal("-plan output identical across different seeds")
+	}
+
+	// The storm proper: 2s of seeded open-loop batch traffic.
+	outPath := filepath.Join(bindir, "load.json")
+	storm := exec.Command(loadBin,
+		"-target", base, "-artifacts", "alpha,beta",
+		"-seed", "42", "-qps", "100", "-duration", "2s",
+		"-batch", "4", "-tenants", "3", "-o", outPath)
+	if out, err := storm.CombinedOutput(); err != nil {
+		t.Fatalf("flexile-load: %v\n%s", err, out)
+	}
+
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep := new(benchjson.Report)
+	if err := json.NewDecoder(f).Decode(rep); err != nil {
+		t.Fatalf("report is not benchjson: %v", err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Name != "LoadAlloc" {
+		t.Fatalf("unexpected report shape: %+v", rep)
+	}
+	m := rep.Results[0].Metrics
+	if m["entries"] <= 0 {
+		t.Fatalf("no entries recorded: %v", m)
+	}
+	if m["errors"] != 0 || m["shed"] != 0 {
+		t.Fatalf("unloaded server shed or errored: %v", m)
+	}
+	if m["ok"] != m["entries"] {
+		t.Fatalf("ok=%v of %v entries: %v", m["ok"], m["entries"], m)
+	}
+	if m["p99-ns"] <= 0 || m["p99-ns"] < m["p50-ns"] {
+		t.Fatalf("latency percentiles malformed: p50=%v p99=%v", m["p50-ns"], m["p99-ns"])
+	}
+	if m["goodput-qps"] <= 0 {
+		t.Fatalf("goodput-qps = %v", m["goodput-qps"])
+	}
+
+	// Cross-check against the server's own counters: every batch entry is a
+	// request, hit counts agree, dedup counts agree, nothing was shed.
+	counters := scrapeCounters(t, base+"/metrics")
+	for metric, want := range map[string]float64{
+		"flexile_serve_requests_total":       m["entries"],
+		"flexile_serve_batch_requests_total": m["req"],
+		"flexile_serve_batch_entries_total":  m["entries"],
+		"flexile_serve_batch_deduped_total":  m["dedup"],
+		"flexile_serve_cache_hits_total":     m["hits"],
+		"flexile_serve_deadline_shed_total":  0,
+		"flexile_serve_quota_rejects_total":  0,
+	} {
+		if got, ok := counters[metric]; !ok || got != want {
+			t.Errorf("%s = %v (present=%v), want %v", metric, got, ok, want)
+		}
+	}
+}

@@ -12,12 +12,22 @@
 //	curl localhost:8080/metrics        # Prometheus exposition
 //	curl localhost:8080/readyz         # readiness (503 during reloads)
 //
+// With -artifact-dir the daemon instead serves a whole registry of named
+// artifacts (every *.flxa in the directory; the basename is the name):
+//
+//	flexile-serve -artifact-dir ./artifacts -listen :8080
+//	curl 'localhost:8080/v1/artifacts/ibm/alloc?failed=3'
+//	curl -H 'X-Flexile-Artifact: ibm' 'localhost:8080/v1/alloc?failed=3'
+//	curl -d '{"queries":[{"artifact":"ibm","failed":[3]}]}' localhost:8080/v1/alloc/batch
+//	curl localhost:8080/v1/artifacts   # per-artifact status
+//
 // SIGHUP reloads the artifact atomically (a failed reload keeps the old
 // one serving, and repeated failures trip a circuit breaker that
-// suppresses further attempts for -breaker-cooldown); SIGINT/SIGTERM flip
-// /readyz to 503 first, drain in-flight requests for up to -drain-timeout,
-// then exit. With -metrics the aggregated serving counters are printed as
-// JSON on exit.
+// suppresses further attempts for -breaker-cooldown); in registry mode it
+// rescans the directory, reloading per name so one corrupt artifact never
+// blocks its neighbors. SIGINT/SIGTERM flip /readyz to 503 first, drain
+// in-flight requests for up to -drain-timeout, then exit. With -metrics
+// the aggregated serving counters are printed as JSON on exit.
 //
 // Overload resilience (DESIGN.md §13): -default-deadline sheds requests
 // predicted to miss their deadline (clients override per request with
@@ -52,7 +62,10 @@ import (
 )
 
 func main() {
-	artifact := flag.String("artifact", "", "serving artifact file (required; see flexile -artifact)")
+	artifact := flag.String("artifact", "", "serving artifact file (this or -artifact-dir is required; see flexile -artifact)")
+	artifactDir := flag.String("artifact-dir", "", "serve every *.flxa in this directory as a named registry")
+	defaultArtifact := flag.String("default-artifact", "", "registry artifact answering requests with no artifact name")
+	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "max queries per POST /v1/alloc/batch request")
 	listen := flag.String("listen", "127.0.0.1:8080", "listen address")
 	debugListen := flag.String("debug-listen", "", "optional admin listener serving /metrics and /debug/pprof (keep it private)")
 	cacheSize := flag.Int("cache-size", 1024, "allocation cache entries (0 disables, negative = unbounded)")
@@ -68,8 +81,8 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker stays open before probing")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long to wait for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
-	if *artifact == "" {
-		fatal(errors.New("-artifact is required"))
+	if (*artifact == "") == (*artifactDir == "") {
+		fatal(errors.New("exactly one of -artifact or -artifact-dir is required"))
 	}
 
 	logger := newLogger(*logJSON)
@@ -84,7 +97,7 @@ func main() {
 	}
 	obs.SetGlobal(collector)
 
-	srv, err := serve.New(*artifact, serve.Config{
+	cfg := serve.Config{
 		CacheSize:        *cacheSize,
 		Workers:          *workers,
 		Obs:              collector,
@@ -95,9 +108,25 @@ func main() {
 		TenantBurst:      *tenantBurst,
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
-	})
-	if err != nil {
-		fatal(err)
+		MaxBatch:         *maxBatch,
+		DefaultArtifact:  *defaultArtifact,
+	}
+	var srv service
+	source := *artifact
+	if *artifactDir != "" {
+		source = *artifactDir
+		reg, err := serve.NewRegistry(*artifactDir, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		logger.Info("registry loaded", "dir", *artifactDir, "artifacts", len(reg.Names()))
+		srv = reg
+	} else {
+		single, err := serve.New(*artifact, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		srv = single
 	}
 
 	stopHUP := srv.WatchHUP(func(err error) {
@@ -112,7 +141,7 @@ func main() {
 	done := make(chan error, 1)
 	go func() { done <- hs.ListenAndServe() }()
 	logger.Info("serving",
-		"artifact", *artifact,
+		"artifact", source,
 		"listen", *listen,
 		"cache_size", *cacheSize,
 		"workers", *workers)
@@ -176,6 +205,16 @@ func main() {
 		}
 		logger.Info("wrote trace", "path", *tracePath)
 	}
+}
+
+// service is the common daemon surface of a single-artifact serve.Server
+// and a multi-artifact serve.Registry.
+type service interface {
+	http.Handler
+	WatchHUP(func(error)) func()
+	BeginDrain()
+	Close()
+	MetricsHandler() http.Handler
 }
 
 // newLogger builds the process logger: slog text on stderr, or JSON lines

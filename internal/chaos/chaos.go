@@ -34,8 +34,8 @@ import (
 	"time"
 
 	"flexile/internal/failure"
-	"flexile/internal/serve"
 	flexscheme "flexile/internal/scheme/flexile"
+	"flexile/internal/serve"
 	"flexile/internal/te"
 	"flexile/internal/topo"
 	"flexile/internal/tunnels"

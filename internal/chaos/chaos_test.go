@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -240,6 +241,92 @@ func TestChaosClientDisconnectStorm(t *testing.T) {
 	}
 	if m.Recomputes == 0 || m.CacheHits == 0 {
 		t.Fatalf("detached recomputes did not warm the cache: %+v", m)
+	}
+	h.Quiesce(t)
+}
+
+// TestChaosRegistryFlappingArtifact: mixed-tenant batch traffic hammers a
+// three-artifact registry while one artifact flaps corrupt on disk and
+// fleet reloads keep firing. The flapping artifact's reload breaker must
+// trip without touching its siblings — every healthy artifact keeps
+// serving bit-identical 200s and reloading cleanly — and the whole fleet
+// must quiesce without leaking a goroutine.
+func TestChaosRegistryFlappingArtifact(t *testing.T) {
+	h := NewRegistryHarness(t, serve.Config{
+		CacheSize:        32,
+		Workers:          4,
+		Obs:              obs.New(),
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Minute, // long: the tripped breaker must stay open for assertion
+	}, 3)
+	flapping := h.Names[0]
+
+	// Flap concurrently with the storm: corrupt the artifact on disk, then
+	// drive fleet reloads. The first BreakerThreshold attempts fail and trip
+	// the per-artifact reload breaker; further attempts are suppressed.
+	// Healthy artifacts reload successfully on every sweep.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.Corrupt(t, flapping)
+		for i := 0; i < 5; i++ {
+			if err := h.Reg.Reload(); err == nil {
+				t.Error("fleet reload with corrupt artifact reported no error")
+			} else if !strings.Contains(err.Error(), flapping) {
+				t.Errorf("reload error does not name the corrupt artifact: %v", err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		h.Restore(t, flapping)
+	}()
+
+	rep := h.BatchStorm(RegistryStormConfig{
+		Seed:     7,
+		Clients:  8,
+		Requests: 25,
+		Batch:    6,
+		Tenant:   func(w int) string { return "tenant-" + strconv.Itoa(w%3) },
+	})
+	<-done
+	t.Logf("registry storm: %s", rep)
+
+	if len(rep.Violations) > 0 {
+		t.Fatalf("registry storm contract violated:\n%v", rep.Violations)
+	}
+	// Every artifact — including the flapping one, which keeps serving its
+	// retained state through failed reloads — produced bit-identical 200s.
+	for _, name := range h.Names {
+		if rep.OK[name] == 0 {
+			t.Fatalf("artifact %s served no verified 200s: %s", name, rep)
+		}
+	}
+	if len(rep.Shed) != 0 {
+		t.Fatalf("no quotas or deadlines configured, yet sheds occurred: %s", rep)
+	}
+
+	// Breaker isolation: only the flapping artifact's reload breaker opened.
+	status := h.Status(t)
+	flap := status[flapping]
+	if flap.ReloadErrors < int64(3) {
+		t.Fatalf("flapping artifact reload errors = %d, want >= 3 (breaker threshold)", flap.ReloadErrors)
+	}
+	if flap.ReloadBreaker != "open" {
+		t.Fatalf("flapping artifact reload breaker = %q, want open", flap.ReloadBreaker)
+	}
+	if flap.ReloadsSkipped == 0 {
+		t.Fatalf("open breaker never suppressed a reload: %+v", flap)
+	}
+	for _, name := range h.Names[1:] {
+		row := status[name]
+		if row.ReloadErrors != 0 || row.ReloadBreaker != "closed" {
+			t.Fatalf("healthy artifact %s polluted by sibling's failures: %+v", name, row)
+		}
+		if row.Reloads < 5 {
+			t.Fatalf("healthy artifact %s reloads = %d, want >= 5 (one per sweep)", name, row.Reloads)
+		}
+		if row.Requests == 0 {
+			t.Fatalf("healthy artifact %s saw no traffic: %+v", name, row)
+		}
 	}
 	h.Quiesce(t)
 }

@@ -1,0 +1,164 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// outcome is one request's classified entry dispositions.
+type outcome struct {
+	ok, hits, miss, shared, dedup, stale int
+	errors                               int
+	shed                                 map[string]int
+}
+
+func (o *outcome) classify(status int, cache, shedReason string, degraded bool) {
+	switch {
+	case status == http.StatusOK:
+		o.ok++
+		switch {
+		case degraded || cache == "stale":
+			o.stale++
+		case cache == "hit":
+			o.hits++
+		case cache == "shared":
+			o.shared++
+		case cache == "dedup":
+			o.dedup++
+		default:
+			o.miss++
+		}
+	case shedReason != "":
+		o.shed[shedReason]++
+	default:
+		o.errors++
+	}
+}
+
+// fire issues one planned request — a single GET /v1/alloc for one query,
+// a POST /v1/alloc/batch envelope otherwise — and classifies every entry.
+// Artifact names travel in the batch body or, for single requests, the
+// X-Flexile-Artifact header, so the same plan drives a bare server and a
+// registry.
+func fire(ctx context.Context, client *http.Client, baseURL string, rq Request, cfg Config) (*outcome, error) {
+	out := &outcome{shed: make(map[string]int)}
+	var req *http.Request
+	var err error
+	if len(rq.Queries) == 1 {
+		q := rq.Queries[0]
+		parts := make([]string, len(q.Failed))
+		for i, e := range q.Failed {
+			parts[i] = strconv.Itoa(e)
+		}
+		url := baseURL + "/v1/alloc?failed=" + strings.Join(parts, ",")
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err == nil && q.Artifact != "" {
+			req.Header.Set("X-Flexile-Artifact", q.Artifact)
+		}
+	} else {
+		body, merr := json.Marshal(struct {
+			Queries []Query `json:"queries"`
+		}{rq.Queries})
+		if merr != nil {
+			return nil, merr
+		}
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/alloc/batch", bytes.NewReader(body))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if rq.Tenant != "" {
+		req.Header.Set("X-Tenant", rq.Tenant)
+	}
+	if cfg.Deadline > 0 {
+		req.Header.Set("X-Request-Deadline", cfg.Deadline.String())
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+
+	if len(rq.Queries) == 1 {
+		out.classify(resp.StatusCode,
+			resp.Header.Get("X-Flexile-Cache"),
+			resp.Header.Get("X-Flexile-Shed"),
+			resp.Header.Get("X-Flexile-Degraded") != "")
+		return out, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		// Envelope-level rejection (bad request, registry-less batch, ...):
+		// every entry failed together.
+		out.errors += len(rq.Queries)
+		return out, nil
+	}
+	var env struct {
+		Results []struct {
+			Status   int    `json:"status"`
+			Cache    string `json:"cache"`
+			Degraded bool   `json:"degraded"`
+			Shed     string `json:"shed"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("load: batch envelope: %w", err)
+	}
+	if len(env.Results) != len(rq.Queries) {
+		return nil, fmt.Errorf("load: batch answered %d of %d queries", len(env.Results), len(rq.Queries))
+	}
+	for _, e := range env.Results {
+		out.classify(e.Status, e.Cache, e.Shed, e.Degraded)
+	}
+	return out, nil
+}
+
+// FetchScenarios asks a live server for an artifact's enumerated failure
+// states (GET /v1/scenarios), the input a Plan draws queries from. name ""
+// targets the server's default artifact.
+func FetchScenarios(ctx context.Context, baseURL, name string) ([][]int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/scenarios", nil)
+	if err != nil {
+		return nil, err
+	}
+	if name != "" {
+		req.Header.Set("X-Flexile-Artifact", name)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("load: scenarios for %q: %s: %s", name, resp.Status, bytes.TrimSpace(body))
+	}
+	var scens []struct {
+		Failed []int `json:"failed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&scens); err != nil {
+		return nil, err
+	}
+	if len(scens) == 0 {
+		return nil, fmt.Errorf("load: artifact %q enumerates no scenarios", name)
+	}
+	out := make([][]int, len(scens))
+	for i, sc := range scens {
+		out[i] = sc.Failed
+	}
+	return out, nil
+}

@@ -1,0 +1,286 @@
+// Package load is the open-loop traffic engine behind cmd/flexile-load
+// (DESIGN.md §14). A Plan — every request's firing offset, tenant, and
+// queries — is a pure function of the seed, built entirely before the
+// first byte hits the wire, so two runs at the same seed against the same
+// server issue identical request streams; arrivals are open-loop Poisson
+// (exponential inter-arrival times at the configured QPS), so a slow
+// server faces mounting concurrency instead of a politely backing-off
+// client, which is what makes shed-rate measurements honest.
+package load
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"flexile/internal/benchjson"
+)
+
+// Config describes one load run.
+type Config struct {
+	// Seed fixes the whole request stream; same seed, same Plan.
+	Seed uint64
+	// QPS is the open-loop HTTP request arrival rate (each request
+	// carries Batch queries, so the query rate is QPS*Batch).
+	QPS float64
+	// Duration bounds the arrival schedule.
+	Duration time.Duration
+	// Batch is queries per request: <=1 sends single GET /v1/alloc
+	// requests, >1 sends POST /v1/alloc/batch envelopes.
+	Batch int
+	// Tenants rotates X-Tenant across this many synthetic tenant ids;
+	// 0 sends no header (the server's shared default bucket).
+	Tenants int
+	// Deadline is sent as X-Request-Deadline on every request; 0 omits it.
+	Deadline time.Duration
+	// Scenarios maps each artifact name ("" for unnamed single-artifact
+	// addressing) to its enumerated failure states. Required, and each
+	// list must be non-empty.
+	Scenarios map[string][][]int
+	// HotFraction is the probability a query draws from the first HotSet
+	// scenarios instead of the full list — the mixed hit/miss knob: a
+	// warm cache answers the hot set inline while the cold tail keeps
+	// missing. 0 means uniform over all scenarios.
+	HotFraction float64
+	// HotSet is the hot-set size per artifact; 0 means 1, larger than
+	// the scenario list is clamped.
+	HotSet int
+}
+
+// Query is one allocation query in a planned request.
+type Query struct {
+	Artifact string `json:"artifact,omitempty"`
+	Failed   []int  `json:"failed"`
+}
+
+// Request is one planned HTTP request.
+type Request struct {
+	// At is the firing offset from the run's start.
+	At time.Duration `json:"at_ns"`
+	// Tenant is the X-Tenant header value; "" sends none.
+	Tenant string `json:"tenant,omitempty"`
+	// Queries has exactly one entry for single-request mode.
+	Queries []Query `json:"queries"`
+}
+
+// Plan is a fully materialized request stream.
+type Plan struct {
+	Seed     uint64    `json:"seed"`
+	Requests []Request `json:"requests"`
+}
+
+// rng is splitmix64, the repo's seeded-storm generator (see
+// internal/chaos): tiny, fast, and stable across platforms.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	x := r.s
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// float returns a uniform draw in (0, 1].
+func (r *rng) float() float64 { return (float64(r.next()>>11) + 1) / (1 << 53) }
+
+// BuildPlan materializes the request stream for cfg — deterministically:
+// the Plan depends only on cfg (in particular Seed), never on the clock
+// or the server.
+func BuildPlan(cfg Config) (*Plan, error) {
+	if cfg.QPS <= 0 {
+		return nil, fmt.Errorf("load: QPS must be positive, got %v", cfg.QPS)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("load: Duration must be positive, got %v", cfg.Duration)
+	}
+	if len(cfg.Scenarios) == 0 {
+		return nil, fmt.Errorf("load: no scenarios configured")
+	}
+	arts := make([]string, 0, len(cfg.Scenarios))
+	for a, keys := range cfg.Scenarios {
+		if len(keys) == 0 {
+			return nil, fmt.Errorf("load: artifact %q has no scenarios", a)
+		}
+		arts = append(arts, a)
+	}
+	sort.Strings(arts)
+	batch := cfg.Batch
+	if batch < 1 {
+		batch = 1
+	}
+
+	r := rng{s: cfg.Seed}
+	plan := &Plan{Seed: cfg.Seed}
+	var at time.Duration
+	for {
+		// Poisson arrivals: exponential inter-arrival at rate QPS.
+		at += time.Duration(-math.Log(r.float()) / cfg.QPS * float64(time.Second))
+		if at >= cfg.Duration {
+			return plan, nil
+		}
+		req := Request{At: at, Queries: make([]Query, batch)}
+		if cfg.Tenants > 0 {
+			req.Tenant = "load-" + strconv.Itoa(r.intn(cfg.Tenants))
+		}
+		for i := range req.Queries {
+			a := arts[r.intn(len(arts))]
+			keys := cfg.Scenarios[a]
+			pick := len(keys)
+			if cfg.HotFraction > 0 && r.float() <= cfg.HotFraction {
+				pick = cfg.HotSet
+				if pick < 1 {
+					pick = 1
+				}
+				if pick > len(keys) {
+					pick = len(keys)
+				}
+			}
+			req.Queries[i] = Query{Artifact: a, Failed: keys[r.intn(pick)]}
+		}
+		plan.Requests = append(plan.Requests, req)
+	}
+}
+
+// Stats aggregates one run's outcomes. Entry counts are per query (one
+// batch request contributes Batch entries); latencies are per HTTP
+// round-trip.
+type Stats struct {
+	Requests int
+	Entries  int
+	// Dispositions, keyed the way the server reports them: OK sums the
+	// four 200 flavors plus Stale and Dedup.
+	OK     int
+	Hits   int
+	Miss   int
+	Shared int
+	Dedup  int
+	Stale  int
+	Shed   map[string]int // quota | deadline | breaker
+	// Errors counts transport failures and unexplained statuses.
+	Errors    int
+	Latencies []time.Duration
+	Elapsed   time.Duration
+}
+
+func (s *Stats) shedTotal() int {
+	n := 0
+	for _, v := range s.Shed {
+		n += v
+	}
+	return n
+}
+
+// Run fires the plan open-loop against baseURL: every request launches at
+// its planned offset regardless of how many predecessors are still in
+// flight. It returns after the last response (or ctx cancellation).
+func Run(ctx context.Context, baseURL string, plan *Plan, cfg Config) (*Stats, error) {
+	client := &http.Client{}
+	stats := &Stats{Shed: make(map[string]int)}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	for _, req := range plan.Requests {
+		if wait := req.At - time.Since(start); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				wg.Wait()
+				return stats, ctx.Err()
+			case <-timer.C:
+			}
+		}
+		wg.Add(1)
+		go func(rq Request) {
+			defer wg.Done()
+			t0 := time.Now()
+			out, err := fire(ctx, client, baseURL, rq, cfg)
+			lat := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			stats.Requests++
+			stats.Entries += len(rq.Queries)
+			stats.Latencies = append(stats.Latencies, lat)
+			if err != nil {
+				stats.Errors += len(rq.Queries)
+				return
+			}
+			stats.OK += out.ok
+			stats.Hits += out.hits
+			stats.Miss += out.miss
+			stats.Shared += out.shared
+			stats.Dedup += out.dedup
+			stats.Stale += out.stale
+			stats.Errors += out.errors
+			for k, v := range out.shed {
+				stats.Shed[k] += v
+			}
+		}(req)
+	}
+	wg.Wait()
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}
+
+// Report folds the run into one benchjson result so load runs land in the
+// same BENCH_*.json trajectory as the compiled-in benchmarks.
+func (s *Stats) Report(name string) *benchjson.Report {
+	lats := append([]time.Duration(nil), s.Latencies...)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return float64(lats[i])
+	}
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	mean := 0.0
+	if len(lats) > 0 {
+		mean = float64(sum) / float64(len(lats))
+	}
+	shed := s.shedTotal()
+	res := benchjson.Result{
+		Name:       name,
+		Procs:      1,
+		Iterations: s.Entries,
+		NsPerOp:    mean,
+		Metrics: map[string]float64{
+			"p50-ns":  pct(0.50),
+			"p99-ns":  pct(0.99),
+			"p999-ns": pct(0.999),
+			"req":     float64(s.Requests),
+			"entries": float64(s.Entries),
+			"ok":      float64(s.OK),
+			"hits":    float64(s.Hits),
+			"miss":    float64(s.Miss),
+			"shared":  float64(s.Shared),
+			"dedup":   float64(s.Dedup),
+			"stale":   float64(s.Stale),
+			"shed":    float64(shed),
+			"errors":  float64(s.Errors),
+		},
+	}
+	for k, v := range s.Shed {
+		res.Metrics["shed-"+k] = float64(v)
+	}
+	if s.Entries > 0 {
+		res.Metrics["shed-rate"] = float64(shed) / float64(s.Entries)
+	}
+	if s.Elapsed > 0 {
+		res.Metrics["goodput-qps"] = float64(s.OK) / s.Elapsed.Seconds()
+	}
+	return &benchjson.Report{Results: []benchjson.Result{res}}
+}

@@ -1,0 +1,187 @@
+package load_test
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"flexile/internal/chaos"
+	"flexile/internal/load"
+	"flexile/internal/obs"
+	"flexile/internal/serve"
+)
+
+func planCfg(seed uint64) load.Config {
+	return load.Config{
+		Seed:     seed,
+		QPS:      500,
+		Duration: 300 * time.Millisecond,
+		Batch:    4,
+		Tenants:  3,
+		Scenarios: map[string][][]int{
+			"alpha": {{}, {0}, {1}, {0, 1}},
+			"beta":  {{}, {2}},
+		},
+		HotFraction: 0.8,
+		HotSet:      2,
+	}
+}
+
+// TestBuildPlanDeterministic is the seeded-stream contract: the Plan is a
+// pure function of the Config, so equal seeds yield byte-identical plans
+// and different seeds diverge.
+func TestBuildPlanDeterministic(t *testing.T) {
+	a, err := load.BuildPlan(planCfg(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := load.BuildPlan(planCfg(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatal("same seed produced different plans")
+	}
+	c, err := load.BuildPlan(planCfg(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj, _ := json.Marshal(c)
+	if string(aj) == string(cj) {
+		t.Fatal("different seeds produced identical plans")
+	}
+
+	if len(a.Requests) == 0 {
+		t.Fatal("empty plan at 500 qps over 300ms")
+	}
+	cfg := planCfg(42)
+	var prev time.Duration = -1
+	for i, rq := range a.Requests {
+		if rq.At < prev {
+			t.Fatalf("request %d fires at %v, before its predecessor at %v", i, rq.At, prev)
+		}
+		prev = rq.At
+		if rq.At >= cfg.Duration {
+			t.Fatalf("request %d fires at %v, past the %v schedule", i, rq.At, cfg.Duration)
+		}
+		if len(rq.Queries) != cfg.Batch {
+			t.Fatalf("request %d has %d queries, want %d", i, len(rq.Queries), cfg.Batch)
+		}
+		if !strings.HasPrefix(rq.Tenant, "load-") {
+			t.Fatalf("request %d tenant = %q", i, rq.Tenant)
+		}
+		for _, q := range rq.Queries {
+			keys, ok := cfg.Scenarios[q.Artifact]
+			if !ok {
+				t.Fatalf("request %d queries unknown artifact %q", i, q.Artifact)
+			}
+			found := false
+			for _, k := range keys {
+				if len(k) == len(q.Failed) {
+					same := true
+					for j := range k {
+						if k[j] != q.Failed[j] {
+							same = false
+							break
+						}
+					}
+					if same {
+						found = true
+						break
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("request %d query %v not drawn from artifact %q scenarios", i, q.Failed, q.Artifact)
+			}
+		}
+	}
+}
+
+func TestBuildPlanValidation(t *testing.T) {
+	for name, mut := range map[string]func(*load.Config){
+		"zero-qps":       func(c *load.Config) { c.QPS = 0 },
+		"zero-duration":  func(c *load.Config) { c.Duration = 0 },
+		"no-scenarios":   func(c *load.Config) { c.Scenarios = nil },
+		"empty-artifact": func(c *load.Config) { c.Scenarios = map[string][][]int{"a": {}} },
+	} {
+		cfg := planCfg(1)
+		mut(&cfg)
+		if _, err := load.BuildPlan(cfg); err == nil {
+			t.Errorf("%s: BuildPlan accepted an invalid config", name)
+		}
+	}
+}
+
+// TestRunAgainstServer drives a short seeded plan at a live server — batch
+// and single-request modes — and checks the stats account every entry with
+// no errors or sheds, then folds into a benchjson report.
+func TestRunAgainstServer(t *testing.T) {
+	h := chaos.New(t, serve.Config{CacheSize: 64, Workers: 2, Obs: obs.New()})
+	ctx := context.Background()
+	scens, err := load.FetchScenarios(ctx, h.TS.URL, "")
+	if err != nil {
+		t.Fatalf("FetchScenarios: %v", err)
+	}
+
+	for name, batch := range map[string]int{"single": 1, "batch": 3} {
+		t.Run(name, func(t *testing.T) {
+			cfg := load.Config{
+				Seed:        9,
+				QPS:         400,
+				Duration:    250 * time.Millisecond,
+				Batch:       batch,
+				Tenants:     2,
+				Scenarios:   map[string][][]int{"": scens},
+				HotFraction: 0.5,
+				HotSet:      2,
+			}
+			plan, err := load.BuildPlan(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats, err := load.Run(ctx, h.TS.URL, plan, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Requests != len(plan.Requests) {
+				t.Errorf("fired %d of %d planned requests", stats.Requests, len(plan.Requests))
+			}
+			if stats.Entries != stats.Requests*batch {
+				t.Errorf("entries = %d, want %d", stats.Entries, stats.Requests*batch)
+			}
+			if stats.Errors != 0 || len(stats.Shed) != 0 {
+				t.Errorf("unloaded server produced errors=%d shed=%v", stats.Errors, stats.Shed)
+			}
+			if stats.OK != stats.Entries {
+				t.Errorf("OK = %d, want every entry (%d)", stats.OK, stats.Entries)
+			}
+			if sum := stats.Hits + stats.Miss + stats.Shared + stats.Dedup + stats.Stale; sum != stats.OK {
+				t.Errorf("dispositions sum to %d, want OK=%d", sum, stats.OK)
+			}
+
+			rep := stats.Report("LoadTest")
+			if len(rep.Results) != 1 || rep.Results[0].Name != "LoadTest" {
+				t.Fatalf("report shape: %+v", rep)
+			}
+			m := rep.Results[0].Metrics
+			if m["entries"] != float64(stats.Entries) || m["ok"] != float64(stats.OK) {
+				t.Errorf("report counters diverge from stats: %v", m)
+			}
+			if m["shed-rate"] != 0 {
+				t.Errorf("shed-rate = %v, want 0", m["shed-rate"])
+			}
+			if m["goodput-qps"] <= 0 {
+				t.Errorf("goodput-qps = %v, want > 0", m["goodput-qps"])
+			}
+			if m["p99-ns"] < m["p50-ns"] {
+				t.Errorf("p99 (%v) below p50 (%v)", m["p99-ns"], m["p50-ns"])
+			}
+		})
+	}
+	h.Quiesce(t)
+}

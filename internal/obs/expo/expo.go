@@ -350,6 +350,11 @@ func EncodeSolveMetrics(e *Encoder, m obs.SolveMetrics) {
 	e.Counter("flexile_serve_breaker_trips_total", "Circuit-breaker transitions to the open state (recompute and reload breakers).", float64(m.Serve.BreakerTrips))
 	e.Counter("flexile_serve_breaker_rejects_total", "Requests short-circuited while the recompute breaker was open.", float64(m.Serve.BreakerRejects))
 	e.Counter("flexile_serve_reloads_skipped_total", "Reload attempts suppressed by the open reload breaker.", float64(m.Serve.ReloadsSkipped))
+	// Batch allocation API (DESIGN.md §14): one HTTP request carries many
+	// queries; entries share the single-query disposition counters above.
+	e.Counter("flexile_serve_batch_requests_total", "POST /v1/alloc/batch HTTP requests.", float64(m.Serve.BatchRequests))
+	e.Counter("flexile_serve_batch_entries_total", "Allocation queries carried inside batch requests.", float64(m.Serve.BatchEntries))
+	e.Counter("flexile_serve_batch_deduped_total", "Batch entries answered by copying a duplicate entry's result.", float64(m.Serve.BatchDeduped))
 	// Latency distributions (nanosecond observations rendered in seconds).
 	e.Histogram("flexile_lp_solve_duration_seconds", "Wall-clock time per LP solve.", m.Latency.LPSolve, 1e-9)
 	e.Histogram("flexile_scenario_solve_duration_seconds", "Wall-clock time per Benders scenario subproblem solve.", m.Latency.ScenarioSolve, 1e-9)

@@ -42,6 +42,7 @@ func fixedMetrics() obs.SolveMetrics {
 		Recomputes: 150, FlightShared: 50, Reloads: 3, ReloadErrors: 1, GateWaits: 20,
 		QuotaRejects: 13, DeadlineShed: 17, DeadlineExpired: 6, RecomputeErrors: 4,
 		Degraded: 3, BreakerTrips: 2, BreakerRejects: 8, ReloadsSkipped: 5,
+		BatchRequests: 21, BatchEntries: 340, BatchDeduped: 19,
 	}
 	m.Latency.ServeRequest = fixedHist()
 	m.Latency.QueueWait = fixedHist()

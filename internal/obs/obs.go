@@ -223,6 +223,15 @@ type ServeMetrics struct {
 	// reload breaker — SIGHUP storms against a corrupt artifact stop
 	// hammering the decoder after Threshold consecutive failures.
 	ReloadsSkipped int64 `json:"reloads_skipped"`
+	// BatchRequests counts POST /v1/alloc/batch HTTP requests;
+	// BatchEntries counts the allocation queries they carried (each entry
+	// is also counted in Requests and its disposition counters, so the
+	// single-query and batch paths share one accounting). BatchDeduped
+	// counts entries answered by copying another entry's result because
+	// the batch repeated the same (artifact, failure-state) query.
+	BatchRequests int64 `json:"batch_requests"`
+	BatchEntries  int64 `json:"batch_entries"`
+	BatchDeduped  int64 `json:"batch_deduped"`
 }
 
 // LatencyID names one of the collector's built-in latency histograms.
@@ -426,6 +435,9 @@ func (c *Collector) AddServe(d ServeMetrics) {
 		atomic.AddInt64(&m.BreakerTrips, d.BreakerTrips)
 		atomic.AddInt64(&m.BreakerRejects, d.BreakerRejects)
 		atomic.AddInt64(&m.ReloadsSkipped, d.ReloadsSkipped)
+		atomic.AddInt64(&m.BatchRequests, d.BatchRequests)
+		atomic.AddInt64(&m.BatchEntries, d.BatchEntries)
+		atomic.AddInt64(&m.BatchDeduped, d.BatchDeduped)
 	}
 }
 
@@ -558,6 +570,9 @@ func (c *Collector) Snapshot() SolveMetrics {
 	sd.BreakerTrips = atomic.LoadInt64(&ss.BreakerTrips)
 	sd.BreakerRejects = atomic.LoadInt64(&ss.BreakerRejects)
 	sd.ReloadsSkipped = atomic.LoadInt64(&ss.ReloadsSkipped)
+	sd.BatchRequests = atomic.LoadInt64(&ss.BatchRequests)
+	sd.BatchEntries = atomic.LoadInt64(&ss.BatchEntries)
+	sd.BatchDeduped = atomic.LoadInt64(&ss.BatchDeduped)
 	out.Latency.LPSolve = c.hists[LatLPSolve].Snapshot()
 	out.Latency.ScenarioSolve = c.hists[LatScenarioSolve].Snapshot()
 	out.Latency.ServeRequest = c.hists[LatServeRequest].Snapshot()

@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"flexile/internal/admit"
+	"flexile/internal/obs"
+)
+
+// DefaultMaxBatch is the per-request query limit when Config.MaxBatch is
+// zero. Large enough to amortize HTTP+admission overhead across a burst of
+// failure states, small enough that one envelope stays well under
+// maxBatchBody even for maximum-size failure sets.
+const DefaultMaxBatch = 64
+
+// maxBatchBody bounds how much of a batch request body the server reads.
+const maxBatchBody = 8 << 20
+
+// BatchQuery is one allocation query inside a batch request. Artifact
+// selects the registry entry ("" means the request's default artifact; a
+// single-artifact server accepts only ""); Failed is the failure state in
+// the same form as the single-query POST body.
+type BatchQuery struct {
+	Artifact string `json:"artifact,omitempty"`
+	Failed   []int  `json:"failed"`
+}
+
+// BatchRequest is the POST /v1/alloc/batch envelope.
+type BatchRequest struct {
+	Queries []BatchQuery `json:"queries"`
+}
+
+// BatchEntry is one result in a batch response, positionally matching the
+// request's queries. Status is the entry's would-be single-request HTTP
+// status; for 200s Body holds exactly the bytes GET /v1/alloc would have
+// written, and Cache/Degraded mirror the X-Flexile-Cache and
+// X-Flexile-Degraded headers (plus "dedup" for entries answered by copying
+// an identical earlier entry's result). Non-200 entries carry the
+// single-request error text in Error, and sheds mirror X-Flexile-Shed and
+// Retry-After in Shed/RetryAfter.
+type BatchEntry struct {
+	Status     int             `json:"status"`
+	Artifact   string          `json:"artifact,omitempty"`
+	Scenario   int             `json:"scenario"`
+	Cache      string          `json:"cache,omitempty"`
+	Degraded   bool            `json:"degraded,omitempty"`
+	Shed       string          `json:"shed,omitempty"`
+	RetryAfter int             `json:"retry_after,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Body       json.RawMessage `json:"body,omitempty"`
+}
+
+// BatchResponse is the POST /v1/alloc/batch response envelope.
+type BatchResponse struct {
+	Results []BatchEntry `json:"results"`
+}
+
+// ParseBatchRequest decodes and validates a batch envelope. The contract
+// matches ParseRequest: arbitrary bytes yield either a canonical request
+// (every query's Failed sorted, deduplicated, in-range) or a wrapped
+// ErrBadRequest — never a panic. Envelope-level strictness is deliberate:
+// one malformed query rejects the whole batch, so a 200 envelope always
+// answers every query the client sent.
+func ParseBatchRequest(data []byte, maxBatch int) (*BatchRequest, error) {
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	if len(data) > maxBatchBody {
+		return nil, fmt.Errorf("%w: batch body of %d bytes exceeds %d", ErrBadRequest, len(data), maxBatchBody)
+	}
+	var req BatchRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after batch object", ErrBadRequest)
+	}
+	if len(req.Queries) == 0 {
+		return nil, fmt.Errorf("%w: batch carries no queries", ErrBadRequest)
+	}
+	if len(req.Queries) > maxBatch {
+		return nil, fmt.Errorf("%w: %d queries exceed the %d-query batch limit", ErrBadRequest, len(req.Queries), maxBatch)
+	}
+	for i := range req.Queries {
+		ar := AllocRequest{Failed: req.Queries[i].Failed}
+		if err := canonicalize(&ar); err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		req.Queries[i].Failed = ar.Failed
+	}
+	return &req, nil
+}
+
+// artifactResolver maps a batch query's artifact name to the server that
+// owns it. A single-artifact Server resolves only the empty name (to
+// itself); a Registry resolves names to loaded entries and applies its
+// default-artifact rule. The returned name is the resolved display name
+// ("" for a bare single-artifact server).
+type artifactResolver interface {
+	resolveArtifact(name string) (*Server, string, error)
+}
+
+// resolveArtifact implements artifactResolver for a standalone Server: it
+// owns exactly one unnamed artifact.
+func (s *Server) resolveArtifact(name string) (*Server, string, error) {
+	if name != "" {
+		return nil, "", fmt.Errorf("unknown artifact %q", name)
+	}
+	return s, "", nil
+}
+
+// handleBatch serves POST /v1/alloc/batch for a single-artifact server.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	serveBatch(w, r, s, s.cfg)
+}
+
+// batchGroup is one unique (server, failure state) across a batch: the
+// first query with that key computes, later duplicates copy its result.
+type batchGroup struct {
+	srv     *Server
+	name    string
+	req     *AllocRequest
+	members []int // request positions answered by this group
+	res     allocResult
+	d       obs.ServeMetrics
+}
+
+// serveBatch is the shared POST /v1/alloc/batch implementation behind both
+// a standalone Server and a Registry (DESIGN.md §14). One HTTP request
+// carries many allocation queries; each query keeps per-entry admission
+// semantics (quota on the resolved server's buckets, deadline, breaker),
+// duplicates of the same (artifact, failure-state) pair are answered once,
+// and unique misses fan out concurrently through each server's existing
+// gate/flight pipeline. Entry bodies are the exact bytes the single-query
+// path would have written.
+func serveBatch(w http.ResponseWriter, r *http.Request, res artifactResolver, cfg Config) {
+	start := time.Now()
+	col := cfg.collector()
+	var top obs.ServeMetrics
+	top.BatchRequests = 1
+	defer func() {
+		if col != nil {
+			col.AddServe(top)
+			col.ObserveLatency(obs.LatServeRequest, time.Since(start))
+		}
+	}()
+
+	body, rerr := io.ReadAll(io.LimitReader(r.Body, maxBatchBody+1))
+	if rerr != nil {
+		top.BadRequests = 1
+		writeError(w, http.StatusBadRequest, "reading body: "+rerr.Error())
+		return
+	}
+	req, err := ParseBatchRequest(body, cfg.maxBatch())
+	if err != nil {
+		top.BadRequests = 1
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	deadline, derr := admit.ParseDeadline(r.Header.Get("X-Request-Deadline"), cfg.DefaultDeadline)
+	if derr != nil {
+		top.BadRequests = 1
+		writeError(w, http.StatusBadRequest, derr.Error())
+		return
+	}
+	top.BatchEntries = int64(len(req.Queries))
+	tenant := r.Header.Get("X-Tenant")
+
+	waitCtx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		waitCtx, cancel = context.WithDeadline(waitCtx, start.Add(deadline))
+		defer cancel()
+	}
+
+	// Stage 1 (serial, cheap): resolve each query's artifact, charge its
+	// tenant quota on the owning server, and group duplicates. Entries
+	// rejected here never reach a worker.
+	type groupKey struct {
+		srv *Server
+		key string
+	}
+	entries := make([]BatchEntry, len(req.Queries))
+	groups := make(map[groupKey]*batchGroup)
+	perSrv := make(map[*Server]*obs.ServeMetrics)
+	var order []*batchGroup
+	for i, qy := range req.Queries {
+		srv, name, rerr := res.resolveArtifact(qy.Artifact)
+		if rerr != nil {
+			top.BadRequests++
+			entries[i] = BatchEntry{Status: http.StatusNotFound, Artifact: qy.Artifact, Scenario: -1, Error: rerr.Error()}
+			continue
+		}
+		d := perSrv[srv]
+		if d == nil {
+			d = &obs.ServeMetrics{}
+			perSrv[srv] = d
+		}
+		d.Requests++
+		if ok, retry := srv.quota.Allow(tenant); !ok {
+			d.QuotaRejects++
+			entries[i] = BatchEntry{Status: http.StatusTooManyRequests, Artifact: name, Scenario: -1,
+				Shed: "quota", RetryAfter: admit.RetryAfterSeconds(retry), Error: "tenant quota exceeded"}
+			continue
+		}
+		gk := groupKey{srv, failedKey(qy.Failed)}
+		g := groups[gk]
+		if g == nil {
+			g = &batchGroup{srv: srv, name: name, req: &AllocRequest{Failed: qy.Failed}}
+			groups[gk] = g
+			order = append(order, g)
+		} else {
+			top.BatchDeduped++
+		}
+		g.members = append(g.members, i)
+	}
+
+	// Stage 2 (concurrent): one allocate per unique group; the per-server
+	// gate still bounds actual recomputation concurrency, so a wide batch
+	// cannot stampede the solver any harder than wide single requests.
+	var wg sync.WaitGroup
+	for _, g := range order {
+		wg.Add(1)
+		go func(g *batchGroup) {
+			defer wg.Done()
+			g.res = g.srv.allocate(waitCtx, g.srv.st.load(), g.req, deadline, &g.d)
+		}(g)
+	}
+	wg.Wait()
+
+	for _, g := range order {
+		d := perSrv[g.srv]
+		d.BadRequests += g.d.BadRequests
+		d.CacheHits += g.d.CacheHits
+		d.CacheMisses += g.d.CacheMisses
+		d.FlightShared += g.d.FlightShared
+		d.DeadlineShed += g.d.DeadlineShed
+		d.DeadlineExpired += g.d.DeadlineExpired
+		d.QuotaRejects += g.d.QuotaRejects
+		d.BreakerRejects += g.d.BreakerRejects
+		d.Degraded += g.d.Degraded
+		for pos, i := range g.members {
+			e := batchEntry(g.name, g.res)
+			if pos > 0 && e.Status == http.StatusOK && !e.Degraded {
+				e.Cache = "dedup"
+			}
+			entries[i] = e
+		}
+	}
+	// Flush per-server dispositions into each server's own collector (a
+	// registry child rolls them up to the aggregate), so per-artifact and
+	// fleet counters both see batch entries exactly like single requests.
+	keys := make([]*Server, 0, len(perSrv))
+	for srv := range perSrv {
+		keys = append(keys, srv)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].path < keys[j].path })
+	for _, srv := range keys {
+		if c := srv.cfg.collector(); c != nil {
+			c.AddServe(*perSrv[srv])
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	writeBatchResponse(w, entries)
+}
+
+// writeBatchResponse streams the envelope, splicing each entry's cached
+// body bytes in verbatim. Encoding the whole BatchResponse through
+// encoding/json would re-parse every Body RawMessage to compact it — an
+// O(total body bytes) pass that dominated warm-cache batch latency — and
+// byte-splicing is also the stronger form of the bit-identity contract:
+// the cached single-request bytes land on the wire untouched.
+func writeBatchResponse(w io.Writer, entries []BatchEntry) error {
+	buf := bytes.NewBuffer(make([]byte, 0, 1024))
+	buf.WriteString(`{"results":[`)
+	for i := range entries {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		body := entries[i].Body
+		entries[i].Body = nil
+		meta, err := json.Marshal(&entries[i])
+		if err != nil {
+			return err
+		}
+		if len(body) == 0 {
+			buf.Write(meta)
+			continue
+		}
+		// meta is "{...}"; reopen it to append the body field verbatim.
+		buf.Write(meta[:len(meta)-1])
+		buf.WriteString(`,"body":`)
+		buf.Write(body)
+		buf.WriteByte('}')
+	}
+	buf.WriteString("]}\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// batchEntry renders an allocResult as one batch response entry, the
+// field-for-field analog of Server.writeResult's headers.
+func batchEntry(name string, r allocResult) BatchEntry {
+	e := BatchEntry{Status: r.status, Artifact: name, Scenario: r.scenario}
+	if r.shed != "" {
+		e.Shed = r.shed
+		e.RetryAfter = admit.RetryAfterSeconds(r.retry)
+	}
+	if r.status == http.StatusOK {
+		e.Cache = r.cache
+		e.Degraded = r.degraded
+		e.Body = json.RawMessage(r.body)
+	} else {
+		e.Error = r.errMsg
+	}
+	return e
+}

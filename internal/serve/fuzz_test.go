@@ -92,3 +92,74 @@ func FuzzParseRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseBatchRequest feeds arbitrary bytes to the batch envelope
+// decoder: any input either yields a batch whose every query is canonical
+// (sorted, deduplicated, in-range, within the batch limit) or a wrapped
+// ErrBadRequest — never a panic.
+func FuzzParseBatchRequest(f *testing.F) {
+	f.Add([]byte(`{"queries":[{"failed":[0,2]},{"artifact":"ibm","failed":[]}]}`))
+	f.Add([]byte(`{"queries":[{"failed":[2,2,0]}]}`))
+	f.Add([]byte(`{"queries":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseBatchRequest(data, 0)
+		if err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("parse error does not wrap ErrBadRequest: %v", err)
+			}
+			return
+		}
+		if len(req.Queries) == 0 || len(req.Queries) > DefaultMaxBatch {
+			t.Fatalf("accepted %d queries outside (0, %d]", len(req.Queries), DefaultMaxBatch)
+		}
+		for qi, q := range req.Queries {
+			if !sort.IntsAreSorted(q.Failed) {
+				t.Fatalf("query %d not sorted: %v", qi, q.Failed)
+			}
+			for i, e := range q.Failed {
+				if e < 0 || e >= maxEdges {
+					t.Fatalf("query %d accepted edge id %d out of range", qi, e)
+				}
+				if i > 0 && e == q.Failed[i-1] {
+					t.Fatalf("query %d not deduplicated: %v", qi, q.Failed)
+				}
+			}
+		}
+	})
+}
+
+// FuzzResolveArtifactName throws arbitrary strings at registry name
+// resolution over a live two-artifact registry. The contract: never a
+// panic, loaded names resolve to their server, and everything else —
+// hostile charsets included — is a clean error.
+func FuzzResolveArtifactName(f *testing.F) {
+	dir := writeRegistryDir(f, "alpha", "beta")
+	reg, err := NewRegistry(dir, Config{CacheSize: 4, Workers: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(reg.Close)
+	f.Add("alpha")
+	f.Add("")
+	f.Add("../../etc/passwd")
+	f.Add(".hidden")
+	f.Add("alpha\x00")
+	f.Fuzz(func(t *testing.T, name string) {
+		srv, resolved, err := reg.resolveArtifact(name)
+		if err != nil {
+			if srv != nil {
+				t.Fatal("resolveArtifact returned both a server and an error")
+			}
+			return
+		}
+		if srv == nil {
+			t.Fatalf("resolveArtifact(%q) returned neither server nor error", name)
+		}
+		if !ValidArtifactName(resolved) {
+			t.Fatalf("resolved to invalid name %q", resolved)
+		}
+		if name != "" && resolved != name {
+			t.Fatalf("resolveArtifact(%q) resolved to different name %q", name, resolved)
+		}
+	})
+}

@@ -1,0 +1,500 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"flexile/internal/obs"
+	"flexile/internal/obs/expo"
+)
+
+// ArtifactExt is the artifact file extension a Registry scans for; the
+// basename minus the extension is the artifact's name.
+const ArtifactExt = ".flxa"
+
+// maxArtifactName bounds artifact name length; names are filenames and
+// metric label values, so they stay short and printable.
+const maxArtifactName = 64
+
+// ValidArtifactName reports whether name may address a registry artifact:
+// 1–64 characters from [a-zA-Z0-9._-], not starting with '.' or '-'. The
+// charset keeps names safe as path segments, header values, and Prometheus
+// label values without escaping.
+func ValidArtifactName(name string) bool {
+	if name == "" || len(name) > maxArtifactName {
+		return false
+	}
+	if name[0] == '.' || name[0] == '-' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// regEntry is one loaded artifact: a full Server (its own LRU cache,
+// single-flight table, gate, quota buckets, and breakers) plus the child
+// collector its counters flush through, so per-artifact dispositions stay
+// separable while still rolling up into the registry aggregate.
+type regEntry struct {
+	name string
+	path string
+	srv  *Server
+	col  *obs.Collector
+}
+
+// Registry serves many named, versioned artifacts from one process
+// (DESIGN.md §14). Each artifact gets its own Server — cache, flight,
+// breakers, quota — so a corrupt or failing artifact cannot poison its
+// neighbors; the registry routes requests to them by URL path
+// (/v1/artifacts/{name}/...), by X-Flexile-Artifact header, or by the
+// configured default, and owns the fleet-level endpoints: /metrics with
+// per-artifact labeled families, /v1/artifacts, and POST /v1/alloc/batch
+// across artifacts.
+type Registry struct {
+	cfg Config
+	dir string
+	col *obs.Collector
+	mux *http.ServeMux
+
+	mu      sync.RWMutex
+	servers map[string]*regEntry
+
+	reloadMu sync.Mutex // serializes directory rescans
+	draining atomic.Bool
+}
+
+// NewRegistry scans dir for *.flxa files and loads every one. Startup is
+// strict — any invalid artifact or an empty directory fails — because a
+// process that boots must be able to answer for every name it advertises;
+// later Reloads degrade per-name instead (the previous state keeps
+// serving).
+func NewRegistry(dir string, cfg Config) (*Registry, error) {
+	r := &Registry{
+		cfg:     cfg,
+		dir:     dir,
+		col:     cfg.collector(),
+		servers: make(map[string]*regEntry),
+	}
+	m := http.NewServeMux()
+	m.HandleFunc("GET /healthz", r.handleHealth)
+	m.HandleFunc("GET /readyz", r.handleReady)
+	m.HandleFunc("GET /metrics", r.handleMetrics)
+	m.HandleFunc("GET /v1/artifacts", r.handleArtifacts)
+	m.HandleFunc("POST /v1/alloc/batch", r.handleBatch)
+	m.HandleFunc("/v1/artifacts/{name}/{rest...}", r.handleNamed)
+	m.HandleFunc("/", r.handleDefault)
+	r.mux = m
+	if err := r.Reload(); err != nil {
+		r.Close()
+		return nil, err
+	}
+	if len(r.servers) == 0 {
+		return nil, fmt.Errorf("serve: no %s artifacts in %s", ArtifactExt, dir)
+	}
+	if def := cfg.DefaultArtifact; def != "" {
+		if _, ok := r.servers[def]; !ok {
+			r.Close()
+			return nil, fmt.Errorf("serve: default artifact %q not found in %s", def, dir)
+		}
+	}
+	return r, nil
+}
+
+// Reload rescans the artifact directory: existing names reload through
+// their own server (so each name has its own reload breaker — one
+// artifact flapping corrupt cannot suppress its neighbors' reloads), new
+// files are loaded fresh, and names whose files vanished are dropped and
+// closed. Per-name failures are joined into the returned error; every
+// other name still (re)loads, and a name that fails to reload keeps
+// serving its previous state.
+func (r *Registry) Reload() error {
+	r.reloadMu.Lock()
+	defer r.reloadMu.Unlock()
+	paths, err := filepath.Glob(filepath.Join(r.dir, "*"+ArtifactExt))
+	if err != nil {
+		return fmt.Errorf("serve: scan %s: %w", r.dir, err)
+	}
+	sort.Strings(paths)
+	seen := make(map[string]bool, len(paths))
+	var errs []error
+	for _, p := range paths {
+		name := strings.TrimSuffix(filepath.Base(p), ArtifactExt)
+		if !ValidArtifactName(name) {
+			errs = append(errs, fmt.Errorf("serve: invalid artifact name %q (%s)", name, p))
+			continue
+		}
+		seen[name] = true
+		r.mu.RLock()
+		ent := r.servers[name]
+		r.mu.RUnlock()
+		if ent != nil {
+			if rerr := ent.srv.Reload(); rerr != nil {
+				errs = append(errs, fmt.Errorf("artifact %q: %w", name, rerr))
+			}
+			continue
+		}
+		sub := r.cfg
+		sub.Obs = obs.NewChild(r.col)
+		srv, nerr := New(p, sub)
+		if nerr != nil {
+			errs = append(errs, fmt.Errorf("artifact %q: %w", name, nerr))
+			continue
+		}
+		r.mu.Lock()
+		r.servers[name] = &regEntry{name: name, path: p, srv: srv, col: sub.Obs}
+		r.mu.Unlock()
+	}
+	r.mu.Lock()
+	for name, ent := range r.servers {
+		if !seen[name] {
+			delete(r.servers, name)
+			ent.srv.Close()
+		}
+	}
+	r.mu.Unlock()
+	return errors.Join(errs...)
+}
+
+// resolveArtifact implements artifactResolver: "" resolves through the
+// default rule (Config.DefaultArtifact, else the sole loaded artifact),
+// anything else must name a loaded entry. The error text is stable per
+// name so unknown-artifact 404 bodies are deterministic.
+func (r *Registry) resolveArtifact(name string) (*Server, string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if name == "" {
+		if def := r.cfg.DefaultArtifact; def != "" {
+			if ent := r.servers[def]; ent != nil {
+				return ent.srv, def, nil
+			}
+			return nil, "", fmt.Errorf("default artifact %q is not loaded", def)
+		}
+		if len(r.servers) == 1 {
+			for n, ent := range r.servers {
+				return ent.srv, n, nil
+			}
+		}
+		return nil, "", fmt.Errorf("artifact name required: %d artifacts loaded and no default configured", len(r.servers))
+	}
+	if !ValidArtifactName(name) {
+		return nil, "", fmt.Errorf("invalid artifact name %q", name)
+	}
+	ent := r.servers[name]
+	if ent == nil {
+		return nil, "", fmt.Errorf("unknown artifact %q", name)
+	}
+	return ent.srv, name, nil
+}
+
+// entries returns a name-sorted snapshot of the loaded artifacts.
+func (r *Registry) entries() []*regEntry {
+	r.mu.RLock()
+	out := make([]*regEntry, 0, len(r.servers))
+	for _, ent := range r.servers {
+		out = append(out, ent)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Names returns the sorted names of the loaded artifacts.
+func (r *Registry) Names() []string {
+	ents := r.entries()
+	names := make([]string, len(ents))
+	for i, ent := range ents {
+		names[i] = ent.name
+	}
+	return names
+}
+
+// ServeHTTP implements http.Handler. Named and default-artifact requests
+// delegate to the owning Server's ServeHTTP, so per-request access logging
+// and request-id propagation behave exactly as on a standalone server.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	r.mux.ServeHTTP(w, req)
+}
+
+// handleNamed strips the /v1/artifacts/{name} prefix and hands the request
+// to the named artifact's server as /v1/{rest}: every single-artifact
+// route (alloc, alloc/batch, info, scenarios) is addressable per artifact
+// with unchanged semantics.
+func (r *Registry) handleNamed(w http.ResponseWriter, req *http.Request) {
+	srv, _, err := r.resolveArtifact(req.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	sub := req.Clone(req.Context())
+	sub.URL.Path = "/v1/" + req.PathValue("rest")
+	sub.URL.RawPath = ""
+	srv.ServeHTTP(w, sub)
+}
+
+// handleDefault routes everything the registry mux doesn't own: the
+// artifact comes from the X-Flexile-Artifact header or the default rule,
+// and the request is delegated unchanged (path included), so bare
+// single-artifact URLs like GET /v1/alloc keep working against a registry.
+func (r *Registry) handleDefault(w http.ResponseWriter, req *http.Request) {
+	srv, _, err := r.resolveArtifact(req.Header.Get("X-Flexile-Artifact"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	srv.ServeHTTP(w, req)
+}
+
+// handleBatch serves POST /v1/alloc/batch across artifacts: each query
+// names its artifact (or rides the default rule), and metrics flush into
+// each resolved server's child collector.
+func (r *Registry) handleBatch(w http.ResponseWriter, req *http.Request) {
+	serveBatch(w, req, r, r.cfg)
+}
+
+func (r *Registry) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	arts := make(map[string]string)
+	for _, ent := range r.entries() {
+		if st := ent.srv.st.load(); st != nil {
+			arts[ent.name] = st.checksum
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"ok":        true,
+		"version":   ArtifactVersion,
+		"artifacts": arts,
+	})
+}
+
+// handleReady aggregates readiness: the registry is ready when it is not
+// draining and every loaded artifact's server is past its initial load.
+// Individual reloads don't flip fleet readiness — the previous state keeps
+// answering — so a flapping artifact can't drain the whole process.
+func (r *Registry) handleReady(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if r.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"ready": false, "reason": "draining"})
+		return
+	}
+	ents := r.entries()
+	if len(ents) == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"ready": false, "reason": "no artifacts loaded"})
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{"ready": true, "artifacts": len(ents)})
+}
+
+// ArtifactStatus is one row of GET /v1/artifacts: identity plus the
+// per-artifact serving and reload counters operators (and the chaos
+// harness) use to tell a healthy artifact from a flapping one.
+type ArtifactStatus struct {
+	Name             string `json:"name"`
+	Checksum         string `json:"checksum"`
+	Topology         string `json:"topology"`
+	Scenarios        int    `json:"scenarios"`
+	LoadedAt         string `json:"loaded_at"`
+	RecomputeBreaker string `json:"recompute_breaker"`
+	ReloadBreaker    string `json:"reload_breaker"`
+	Requests         int64  `json:"requests"`
+	CacheHits        int64  `json:"cache_hits"`
+	CacheMisses      int64  `json:"cache_misses"`
+	Degraded         int64  `json:"degraded"`
+	Reloads          int64  `json:"reloads"`
+	ReloadErrors     int64  `json:"reload_errors"`
+	ReloadsSkipped   int64  `json:"reloads_skipped"`
+}
+
+// Artifacts returns the per-artifact status rows, sorted by name.
+func (r *Registry) Artifacts() []ArtifactStatus {
+	ents := r.entries()
+	out := make([]ArtifactStatus, 0, len(ents))
+	for _, ent := range ents {
+		row := ArtifactStatus{
+			Name:             ent.name,
+			RecomputeBreaker: ent.srv.compBreaker.State().String(),
+			ReloadBreaker:    ent.srv.reloadBreaker.State().String(),
+		}
+		if st := ent.srv.st.load(); st != nil {
+			row.Checksum = st.checksum
+			row.Topology = st.art.TopoName
+			row.Scenarios = len(st.art.Scenarios)
+			row.LoadedAt = st.loadedAt.UTC().Format(time.RFC3339Nano)
+		}
+		sm := ent.col.Snapshot().Serve
+		row.Requests = sm.Requests
+		row.CacheHits = sm.CacheHits
+		row.CacheMisses = sm.CacheMisses
+		row.Degraded = sm.Degraded
+		row.Reloads = sm.Reloads
+		row.ReloadErrors = sm.ReloadErrors
+		row.ReloadsSkipped = sm.ReloadsSkipped
+		out = append(out, row)
+	}
+	return out
+}
+
+func (r *Registry) handleArtifacts(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(r.Artifacts())
+}
+
+// handleMetrics renders the fleet exposition page: the root collector's
+// aggregate (children roll up into it) plus per-artifact labeled families.
+func (r *Registry) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", expo.ContentType)
+	expo.WritePage(w, r.col, r.extraMetrics)
+}
+
+// MetricsHandler exposes the fleet /metrics page as a standalone handler
+// for an admin listener.
+func (r *Registry) MetricsHandler() http.Handler { return http.HandlerFunc(r.handleMetrics) }
+
+// extraMetrics appends the registry-level gauges and the per-artifact
+// labeled families. Per-artifact counters come from each entry's child
+// collector snapshot; the unlabeled flexile_serve_* families on the same
+// page hold the fleet aggregate.
+func (r *Registry) extraMetrics(e *expo.Encoder) {
+	ents := r.entries()
+	ready := 0.0
+	if !r.draining.Load() && len(ents) > 0 {
+		ready = 1
+	}
+	e.Gauge("flexile_serve_ready", "Whether /readyz currently reports ready.", ready)
+	e.Gauge("flexile_registry_artifacts", "Artifacts currently loaded in the registry.", float64(len(ents)))
+	if len(ents) == 0 {
+		return
+	}
+
+	label := func(ent *regEntry, extra ...expo.Label) []expo.Label {
+		return append([]expo.Label{{Name: "artifact", Value: ent.name}}, extra...)
+	}
+	counter := func(name, help string, get func(obs.ServeMetrics) int64) {
+		values := make([]float64, len(ents))
+		labels := make([][]expo.Label, len(ents))
+		for i, ent := range ents {
+			values[i] = float64(get(ent.col.Snapshot().Serve))
+			labels[i] = label(ent)
+		}
+		e.CounterVec(name, help, values, labels)
+	}
+	counter("flexile_serve_artifact_requests_total", "Allocation queries per artifact (batch entries included).",
+		func(m obs.ServeMetrics) int64 { return m.Requests })
+	counter("flexile_serve_artifact_cache_hits_total", "Allocation-cache hits per artifact.",
+		func(m obs.ServeMetrics) int64 { return m.CacheHits })
+	counter("flexile_serve_artifact_cache_misses_total", "Allocation-cache misses per artifact.",
+		func(m obs.ServeMetrics) int64 { return m.CacheMisses })
+	counter("flexile_serve_artifact_degraded_total", "Stale degraded answers per artifact.",
+		func(m obs.ServeMetrics) int64 { return m.Degraded })
+	counter("flexile_serve_artifact_recompute_errors_total", "Failed Online recomputations per artifact.",
+		func(m obs.ServeMetrics) int64 { return m.RecomputeErrors })
+	counter("flexile_serve_artifact_reload_errors_total", "Failed artifact (re)loads per artifact.",
+		func(m obs.ServeMetrics) int64 { return m.ReloadErrors })
+
+	{
+		values := make([]float64, 0, 2*len(ents))
+		labels := make([][]expo.Label, 0, 2*len(ents))
+		for _, ent := range ents {
+			values = append(values, float64(ent.srv.compBreaker.State()), float64(ent.srv.reloadBreaker.State()))
+			labels = append(labels,
+				label(ent, expo.Label{Name: "breaker", Value: "recompute"}),
+				label(ent, expo.Label{Name: "breaker", Value: "reload"}))
+		}
+		e.GaugeVec("flexile_serve_artifact_breaker_state", "Per-artifact circuit-breaker state (0 closed, 1 open, 2 half-open).", values, labels)
+	}
+	{
+		values := make([]float64, len(ents))
+		labels := make([][]expo.Label, len(ents))
+		for i, ent := range ents {
+			if st := ent.srv.st.load(); st != nil {
+				values[i] = float64(st.cache.len())
+			}
+			labels[i] = label(ent)
+		}
+		e.GaugeVec("flexile_serve_artifact_cache_entries", "Allocation-cache entries resident per artifact.", values, labels)
+	}
+	{
+		values := make([]float64, 0, len(ents))
+		labels := make([][]expo.Label, 0, len(ents))
+		for _, ent := range ents {
+			st := ent.srv.st.load()
+			if st == nil {
+				continue
+			}
+			values = append(values, 1)
+			labels = append(labels, label(ent,
+				expo.Label{Name: "version", Value: strconv.Itoa(ArtifactVersion)},
+				expo.Label{Name: "checksum", Value: st.checksum},
+				expo.Label{Name: "topology", Value: st.art.TopoName}))
+		}
+		e.GaugeVec("flexile_artifact_info", "Identity of each loaded serving artifact (value is always 1).", values, labels)
+	}
+}
+
+// WatchHUP installs a SIGHUP handler that rescans the artifact directory
+// until stop is called; per-name errors go to onErr (which may be nil).
+func (r *Registry) WatchHUP(onErr func(error)) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGHUP)
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		for {
+			select {
+			case <-ch:
+				if err := r.Reload(); err != nil && onErr != nil {
+					onErr(err)
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+			<-finished
+		})
+	}
+}
+
+// BeginDrain flips fleet readiness to 503 and drains every artifact's
+// server; /v1/alloc keeps answering stragglers throughout.
+func (r *Registry) BeginDrain() {
+	r.draining.Store(true)
+	for _, ent := range r.entries() {
+		ent.srv.BeginDrain()
+	}
+}
+
+// Close releases every artifact server's detached recomputations. The
+// registry must not serve requests afterwards.
+func (r *Registry) Close() {
+	for _, ent := range r.entries() {
+		ent.srv.Close()
+	}
+}

@@ -90,6 +90,28 @@ type Config struct {
 	// fails the recomputation. The chaos harness uses it with
 	// internal/faultinject to script slow and failing solves.
 	ComputeHook func(scenario int) error
+
+	// --- multi-artifact registry + batch API (DESIGN.md §14) ---
+
+	// MaxBatch bounds how many queries one POST /v1/alloc/batch request
+	// may carry. 0 means DefaultMaxBatch; negative is clamped to 1.
+	MaxBatch int
+	// DefaultArtifact names the registry entry that answers requests
+	// carrying no artifact name (no X-Flexile-Artifact header, bare
+	// /v1/... path). Only a Registry reads it; a single-artifact Server
+	// is its own default. Empty means: the sole artifact when the
+	// registry holds exactly one, otherwise named addressing is required.
+	DefaultArtifact string
+}
+
+func (c Config) maxBatch() int {
+	switch {
+	case c.MaxBatch == 0:
+		return DefaultMaxBatch
+	case c.MaxBatch < 0:
+		return 1
+	}
+	return c.MaxBatch
 }
 
 func (c Config) collector() *obs.Collector {
@@ -193,6 +215,7 @@ func New(path string, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("GET /v1/alloc", s.handleAlloc)
 	s.mux.HandleFunc("POST /v1/alloc", s.handleAlloc)
+	s.mux.HandleFunc("POST /v1/alloc/batch", s.handleBatch)
 	if err := s.Reload(); err != nil {
 		return nil, err
 	}
@@ -724,17 +747,142 @@ func writeShed(w http.ResponseWriter, code int, reason string, retryAfter time.D
 	writeError(w, code, msg)
 }
 
+// allocResult is the outcome of one allocation query after admission —
+// independent of how it is written back. The single-request handler maps
+// it onto the PR 7 wire format verbatim (headers and bodies unchanged);
+// the batch handler embeds it as one entry of the envelope, so the two
+// paths cannot drift apart.
+type allocResult struct {
+	status   int
+	body     []byte        // marshaled AllocResponse; nil unless status 200
+	errMsg   string        // error text; "" unless status != 200
+	cache    string        // hit | miss | shared | stale | "" (non-200)
+	shed     string        // quota | deadline | breaker | "" (not shed)
+	retry    time.Duration // Retry-After hint when shed != ""
+	degraded bool          // body came from the stale last-known-good store
+	scenario int           // matched scenario index, -1 when none
+}
+
+// allocate runs the post-parse stages of the staged admission pipeline
+// (DESIGN.md §13) for one canonical failure-state query against one loaded
+// state:
+//
+//  1. scenario lookup → 404
+//  2. cache hit → answer immediately
+//  3. deadline-aware admission: predicted gate wait > deadline → 503 shed
+//  4. recompute-breaker short circuit → stale degraded answer or 503
+//  5. detached single-flight recompute; the caller waits at most waitCtx,
+//     the computation itself always completes
+//
+// Disposition counters accumulate into d (the caller flushes them), so one
+// batch request can account many queries with a single collector add.
+func (s *Server) allocate(waitCtx context.Context, st *state, req *AllocRequest, deadline time.Duration, d *obs.ServeMetrics) allocResult {
+	key := failedKey(req.Failed)
+	q, ok := st.scenIndex[key]
+	if !ok {
+		d.BadRequests++
+		return allocResult{status: http.StatusNotFound, scenario: -1,
+			errMsg: fmt.Sprintf("no enumerated scenario matches failed edges %v", req.Failed)}
+	}
+
+	if body, ok := st.cache.get(q); ok {
+		d.CacheHits++
+		return allocResult{status: http.StatusOK, scenario: q, cache: "hit", body: body}
+	}
+	d.CacheMisses++
+
+	// Deadline-aware admission: a miss that would queue past its deadline
+	// is refused now, while the refusal is still cheap, instead of
+	// occupying a waiter slot to certain failure.
+	if deadline > 0 {
+		if est := s.gate.EstimatedWait(); est > deadline {
+			d.DeadlineShed++
+			return allocResult{status: http.StatusServiceUnavailable, scenario: q, shed: "deadline", retry: est,
+				errMsg: fmt.Sprintf("predicted queue wait %v exceeds request deadline %v", est, deadline)}
+		}
+	}
+
+	// Recompute breaker: while open, don't touch the failing solve path —
+	// serve the last known good answer, explicitly marked degraded, or
+	// shed if this failure state has never been answered.
+	if ok, retry := s.compBreaker.Allow(); !ok {
+		d.BreakerRejects++
+		if stale, degOK := s.staleGet(key); degOK {
+			d.Degraded++
+			return allocResult{status: http.StatusOK, scenario: q, cache: "stale", degraded: true, body: stale}
+		}
+		return allocResult{status: http.StatusServiceUnavailable, scenario: q, shed: "breaker", retry: retry,
+			errMsg: "recompute breaker open and no stale answer for this failure state"}
+	}
+
+	// Admitted. The wait is bounded by the request deadline and the client
+	// connection; the recomputation itself runs detached under the
+	// server's lifetime, so neither a disconnect nor a deadline can fail
+	// the computation other waiters are riding (or waste the solve — the
+	// result still lands in the cache).
+	body, cerr, shared := st.flight.DoDetached(waitCtx, q, func() ([]byte, error) {
+		return s.recompute(st, q, key)
+	})
+	if shared {
+		d.FlightShared++
+	}
+	if cerr != nil {
+		if errors.Is(cerr, context.DeadlineExceeded) || errors.Is(cerr, context.Canceled) {
+			// Deadline or client gone while waiting; the detached solve
+			// continues for whoever asks next.
+			d.DeadlineExpired++
+			return allocResult{status: http.StatusServiceUnavailable, scenario: q, shed: "deadline", retry: s.gate.EstimatedWait(),
+				errMsg: "deadline expired before the allocation completed"}
+		}
+		// The recomputation itself failed: degrade to the last known good
+		// answer when one exists.
+		if stale, degOK := s.staleGet(key); degOK {
+			d.Degraded++
+			return allocResult{status: http.StatusOK, scenario: q, cache: "stale", degraded: true, body: stale}
+		}
+		return allocResult{status: http.StatusInternalServerError, scenario: q, errMsg: cerr.Error()}
+	}
+	cache := "miss"
+	if shared {
+		cache = "shared"
+	}
+	return allocResult{status: http.StatusOK, scenario: q, cache: cache, body: body}
+}
+
+// writeResult renders an allocResult in the single-request wire format —
+// exactly the headers and bodies the pre-batch server produced.
+func (s *Server) writeResult(w http.ResponseWriter, rec *accessRecorder, res allocResult) {
+	if res.shed != "" {
+		writeShed(w, res.status, res.shed, res.retry, res.errMsg)
+		return
+	}
+	if res.status != http.StatusOK {
+		writeError(w, res.status, res.errMsg)
+		return
+	}
+	if res.degraded {
+		s.serveDegraded(w, rec, res.body)
+		return
+	}
+	if rec != nil {
+		rec.cache = res.cache
+	}
+	hdr := "miss"
+	if res.cache == "hit" {
+		hdr = "hit"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Flexile-Cache", hdr)
+	w.Write(res.body)
+}
+
 // handleAlloc is the allocation query path, staged so overload is refused
 // as early and cheaply as possible (DESIGN.md §13):
 //
 //  1. tenant quota (token bucket, X-Tenant) → 429 + Retry-After
 //  2. deadline parse (X-Request-Deadline, -default-deadline)
-//  3. request parse + scenario lookup (unchanged)
-//  4. cache hit → answer immediately
-//  5. deadline-aware admission: predicted gate wait > deadline → 503 shed
-//  6. recompute-breaker short circuit → stale degraded answer or 503
-//  7. detached single-flight recompute; this caller waits at most its
-//     deadline, the computation itself always completes
+//  3. request parse (unchanged)
+//  4. allocate: lookup → cache → deadline admission → breaker → flight
 func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var d obs.ServeMetrics
@@ -778,103 +926,17 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	st := s.st.load()
-	key := failedKey(req.Failed)
-	q, ok := st.scenIndex[key]
-	if !ok {
-		d.BadRequests = 1
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no enumerated scenario matches failed edges %v", req.Failed))
-		return
-	}
-	if rec != nil {
-		rec.scenario = q
-	}
-
-	if body, ok := st.cache.get(q); ok {
-		d.CacheHits = 1
-		if rec != nil {
-			rec.cache = "hit"
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Flexile-Cache", "hit")
-		w.Write(body)
-		return
-	}
-	d.CacheMisses = 1
-
-	// Deadline-aware admission: a miss that would queue past its deadline
-	// is refused now, while the refusal is still cheap, instead of
-	// occupying a waiter slot to certain failure.
-	if deadline > 0 {
-		if est := s.gate.EstimatedWait(); est > deadline {
-			d.DeadlineShed = 1
-			writeShed(w, http.StatusServiceUnavailable, "deadline", est,
-				fmt.Sprintf("predicted queue wait %v exceeds request deadline %v", est, deadline))
-			return
-		}
-	}
-
-	// Recompute breaker: while open, don't touch the failing solve path —
-	// serve the last known good answer, explicitly marked degraded, or
-	// shed if this failure state has never been answered.
-	if ok, retry := s.compBreaker.Allow(); !ok {
-		d.BreakerRejects = 1
-		if stale, degOK := s.staleGet(key); degOK {
-			d.Degraded = 1
-			s.serveDegraded(w, rec, stale)
-			return
-		}
-		writeShed(w, http.StatusServiceUnavailable, "breaker", retry,
-			"recompute breaker open and no stale answer for this failure state")
-		return
-	}
-
-	// Admitted. The wait is bounded by the request deadline and the client
-	// connection; the recomputation itself runs detached under the
-	// server's lifetime, so neither a disconnect nor a deadline can fail
-	// the computation other waiters are riding (or waste the solve — the
-	// result still lands in the cache).
 	waitCtx := r.Context()
 	if deadline > 0 {
 		var cancel context.CancelFunc
 		waitCtx, cancel = context.WithDeadline(waitCtx, start.Add(deadline))
 		defer cancel()
 	}
-	body, cerr, shared := st.flight.DoDetached(waitCtx, q, func() ([]byte, error) {
-		return s.recompute(st, q, key)
-	})
-	if shared {
-		d.FlightShared = 1
+	res := s.allocate(waitCtx, s.st.load(), req, deadline, &d)
+	if rec != nil && res.scenario >= 0 {
+		rec.scenario = res.scenario
 	}
-	if cerr != nil {
-		if errors.Is(cerr, context.DeadlineExceeded) || errors.Is(cerr, context.Canceled) {
-			// Deadline or client gone while waiting; the detached solve
-			// continues for whoever asks next.
-			d.DeadlineExpired = 1
-			writeShed(w, http.StatusServiceUnavailable, "deadline", s.gate.EstimatedWait(),
-				"deadline expired before the allocation completed")
-			return
-		}
-		// The recomputation itself failed: degrade to the last known good
-		// answer when one exists.
-		if stale, degOK := s.staleGet(key); degOK {
-			d.Degraded = 1
-			s.serveDegraded(w, rec, stale)
-			return
-		}
-		writeError(w, http.StatusInternalServerError, cerr.Error())
-		return
-	}
-	if rec != nil {
-		if shared {
-			rec.cache = "shared"
-		} else {
-			rec.cache = "miss"
-		}
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Flexile-Cache", "miss")
-	w.Write(body)
+	s.writeResult(w, rec, res)
 }
 
 // serveDegraded answers from the last-known-good store: HTTP 200 with the
