@@ -1,0 +1,111 @@
+package flexile_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"flexile/internal/benchjson"
+)
+
+// TestBenchFiles validates every checked-in BENCH_*.json — the per-PR
+// performance trajectory that `make bench-json` appends to. The files are
+// produced mechanically (benchjson.Write) but land in review like any
+// other artifact, so this pins what later tooling may assume:
+//
+//   - indices are exactly 0..n-1, no gaps, no duplicates, no stray tags —
+//     the trajectory reads in PR order;
+//   - each file is a valid benchjson.Report with an RFC 3339 timestamp,
+//     the standard bench header metadata, and at least one result;
+//   - every result names a Benchmark, ran at least one iteration, took
+//     positive time, and carries only finite metric values;
+//   - each file carries at least one custom metric overall (a trajectory
+//     entry with no figure numbers recorded nothing worth keeping).
+func TestBenchFiles(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var indices []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "BENCH_") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		tag := strings.TrimSuffix(strings.TrimPrefix(name, "BENCH_"), ".json")
+		idx, err := strconv.Atoi(tag)
+		if err != nil {
+			t.Errorf("%s: tag %q is not an index; `make bench-json` now auto-numbers (BENCH_0.json, BENCH_1.json, ...)", name, tag)
+			continue
+		}
+		indices = append(indices, idx)
+		validateBenchFile(t, name)
+	}
+	if len(indices) == 0 {
+		t.Fatal("no BENCH_*.json files found; the performance trajectory is gone")
+	}
+	sort.Ints(indices)
+	for want, got := range indices {
+		if got != want {
+			t.Fatalf("BENCH indices %v are not exactly 0..n-1 (missing or duplicate index %d)", indices, want)
+		}
+	}
+}
+
+func validateBenchFile(t *testing.T, name string) {
+	t.Helper()
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchjson.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Errorf("%s: not a benchjson report: %v", name, err)
+		return
+	}
+	if _, err := time.Parse(time.RFC3339, rep.Generated); err != nil {
+		t.Errorf("%s: generated %q is not RFC 3339: %v", name, rep.Generated, err)
+	}
+	for _, key := range []string{"goos", "goarch", "cpu"} {
+		if rep.Meta[key] == "" {
+			t.Errorf("%s: meta lacks %q", name, key)
+		}
+	}
+	if len(rep.Results) == 0 {
+		t.Errorf("%s: no results", name)
+		return
+	}
+	withMetrics := 0
+	for i, r := range rep.Results {
+		where := fmt.Sprintf("%s results[%d] (%s)", name, i, r.Name)
+		if !strings.HasPrefix(r.Name, "Benchmark") {
+			t.Errorf("%s: name does not start with Benchmark", where)
+		}
+		if r.Procs < 1 {
+			t.Errorf("%s: procs %d", where, r.Procs)
+		}
+		if r.Iterations < 1 {
+			t.Errorf("%s: iterations %d", where, r.Iterations)
+		}
+		if !(r.NsPerOp > 0) {
+			t.Errorf("%s: ns_per_op %v", where, r.NsPerOp)
+		}
+		if len(r.Metrics) > 0 {
+			withMetrics++
+		}
+		for k, v := range r.Metrics {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: metric %q is %v", where, k, v)
+			}
+		}
+	}
+	if withMetrics == 0 {
+		t.Errorf("%s: no result carries custom metrics", name)
+	}
+}

@@ -13,6 +13,7 @@ package admit
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"sync"
@@ -44,6 +45,12 @@ func ParseDeadline(header string, def time.Duration) (time.Duration, error) {
 	if ms, err := strconv.Atoi(header); err == nil {
 		if ms < 0 {
 			return 0, fmt.Errorf("admit: negative deadline %dms", ms)
+		}
+		// time.Duration is int64 nanoseconds; a huge millisecond count
+		// would overflow the multiplication silently, wrapping to an
+		// arbitrary (possibly negative, possibly tiny) deadline.
+		if int64(ms) > math.MaxInt64/int64(time.Millisecond) {
+			return 0, fmt.Errorf("admit: deadline %dms overflows", ms)
 		}
 		return time.Duration(ms) * time.Millisecond, nil
 	}

@@ -1,0 +1,189 @@
+package emu
+
+import (
+	"math"
+	"testing"
+
+	"flexile/internal/te"
+)
+
+// routeTwoHop routes flow 1 (A-C) over its two-hop A-B-C tunnel in every
+// scenario where that path is alive, and flow 0 over its direct link.
+func routeTwoHop(inst *te.Instance) *te.Routing {
+	r := te.NewRouting(inst)
+	for q, s := range inst.Scenarios {
+		for ti, p := range inst.Tunnels[0][0] {
+			if p.Len() == 1 && p.Alive(s.Alive()) {
+				r.X[q][0][0][ti] = 1
+			}
+		}
+		for ti, p := range inst.Tunnels[0][1] {
+			if p.Len() == 2 && p.Alive(s.Alive()) {
+				r.X[q][0][1][ti] = 1
+			}
+		}
+	}
+	return r
+}
+
+// TestEngineBoundaries drives both engines through the degenerate corners
+// of the Options/workload space — zero-demand flows, demands of a single
+// packet, packets larger than a link's per-tick capacity, queues smaller
+// than one packet — and checks the loss accounting stays sane and the two
+// engines stay within tolerance of each other. The oversized-packet and
+// tiny-buffer rows pin the two silent-blackhole bugs this file's fixes
+// removed: before them the packet engine reported total loss on workloads
+// the fluid engine (and the optimization model) called lossless.
+func TestEngineBoundaries(t *testing.T) {
+	cases := []struct {
+		name  string
+		setup func(inst *te.Instance) // mutate demands before routing
+		opt   Options
+		// wantLoss[f] bounds each flow's packet-engine loss; NaN skips.
+		wantLossAtMost []float64
+		fluidGapAtMost float64 // max |fluid-packet| per flow
+	}{
+		{
+			name:           "zero-demand flow",
+			setup:          func(inst *te.Instance) { inst.Demand[0][1] = 0 },
+			wantLossAtMost: []float64{0.05, 0},
+			fluidGapAtMost: 0.05,
+		},
+		{
+			name: "all demands zero",
+			setup: func(inst *te.Instance) {
+				inst.Demand[0][0] = 0
+				inst.Demand[0][1] = 0
+			},
+			wantLossAtMost: []float64{0, 0},
+			fluidGapAtMost: 0,
+		},
+		{
+			name:           "single-packet demand",
+			setup:          func(inst *te.Instance) { inst.Demand[0][1] = 0.01 },
+			opt:            Options{PacketSize: 0.01},
+			wantLossAtMost: []float64{0.05, 0.05},
+			fluidGapAtMost: 0.05,
+		},
+		{
+			name: "packet larger than per-tick capacity",
+			// 4 ticks of serialization per packet: the link banks credit
+			// and delivers late rather than never.
+			opt:            Options{PacketSize: 4},
+			wantLossAtMost: []float64{0.2, 0.2},
+			fluidGapAtMost: 0.2,
+		},
+		{
+			name: "buffer smaller than one packet",
+			// bufMax clamps to one packet. Demand of exactly one packet
+			// per tick keeps the source unbursty, so that single slot is
+			// all an uncongested link needs: near-lossless, where the
+			// unclamped queue rejected every push.
+			setup: func(inst *te.Instance) {
+				inst.Demand[0][0] = 0.05
+				inst.Demand[0][1] = 0.05
+			},
+			opt:            Options{BufferFactor: 1e-6, PacketSize: 0.05},
+			wantLossAtMost: []float64{0.05, 0.05},
+			fluidGapAtMost: 0.05,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inst := triangleInst()
+			if tc.setup != nil {
+				tc.setup(inst)
+			}
+			r := directRouting(inst)
+			pkt, err := Packet(inst, r, 0, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fl, err := Fluid(inst, r, 0, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for f := 0; f < inst.NumFlows(); f++ {
+				if f < len(tc.wantLossAtMost) && !math.IsNaN(tc.wantLossAtMost[f]) {
+					if pkt.Loss[f] > tc.wantLossAtMost[f]+1e-12 {
+						t.Errorf("flow %d: packet loss %v, want <= %v", f, pkt.Loss[f], tc.wantLossAtMost[f])
+					}
+				}
+				if gap := math.Abs(pkt.Loss[f] - fl.Loss[f]); gap > tc.fluidGapAtMost+1e-12 {
+					t.Errorf("flow %d: |packet-fluid| = %v (packet %v, fluid %v), want <= %v",
+						f, gap, pkt.Loss[f], fl.Loss[f], tc.fluidGapAtMost)
+				}
+				if pkt.Delivered[f] < 0 || pkt.Loss[f] < 0 || pkt.Loss[f] > 1 {
+					t.Errorf("flow %d: insane accounting: delivered %v loss %v", f, pkt.Delivered[f], pkt.Loss[f])
+				}
+			}
+		})
+	}
+}
+
+// TestFullyPartitionedScenario finds the all-links-failed scenario and
+// checks both engines report total loss for every demanded flow — no
+// phantom delivery through dead links, no NaNs from the empty topology.
+func TestFullyPartitionedScenario(t *testing.T) {
+	inst := triangleInst()
+	r := directRouting(inst)
+	dead := -1
+	for q, s := range inst.Scenarios {
+		if len(s.Failed) == 3 {
+			dead = q
+			break
+		}
+	}
+	if dead < 0 {
+		t.Fatal("enumeration lost the all-failed scenario")
+	}
+	for name, engine := range map[string]func(*te.Instance, *te.Routing, int, Options) (*Result, error){
+		"fluid": Fluid, "packet": Packet,
+	} {
+		res, err := engine(inst, r, dead, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for f := 0; f < inst.NumFlows(); f++ {
+			if res.Delivered[f] != 0 {
+				t.Errorf("%s flow %d: delivered %v through a fully failed topology", name, f, res.Delivered[f])
+			}
+			want := 1.0 // total loss for demanded flows ...
+			if inst.FlowDemand(f) == 0 {
+				want = 0 // ... and zero, not NaN, for undemanded ones
+			}
+			if res.Loss[f] != want {
+				t.Errorf("%s flow %d: loss %v, want %v", name, f, res.Loss[f], want)
+			}
+		}
+	}
+}
+
+// TestDrainTicksBoundary pins DrainTicks semantics on a two-hop path:
+// packets in flight when the measurement window closes still count if
+// they arrive during the drain, so a longer drain never reports more
+// loss, and the default drain is long enough that an uncongested two-hop
+// flow measures (near) lossless.
+func TestDrainTicksBoundary(t *testing.T) {
+	inst := triangleInst()
+	// Only the two-hop flow sends, so neither hop is oversubscribed and
+	// any measured loss is purely in-flight packets the drain didn't wait
+	// for.
+	inst.Demand[0][0] = 0
+	r := routeTwoHop(inst)
+	lossAt := func(drain int) float64 {
+		t.Helper()
+		res, err := Packet(inst, r, 0, Options{DrainTicks: drain})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Loss[1]
+	}
+	short, dflt := lossAt(1), lossAt(0) // 0 means the 50-tick default
+	if dflt > short+1e-12 {
+		t.Fatalf("longer drain increased loss: drain=1 %v vs default %v", short, dflt)
+	}
+	if dflt > 0.05 {
+		t.Fatalf("uncongested two-hop flow lost %v with default drain", dflt)
+	}
+}

@@ -23,6 +23,7 @@ type linkQueue struct {
 	bytes    float64
 	capacity float64 // units transmitted per tick
 	bufMax   float64 // queue size bound in units
+	credit   float64 // capacity banked while an oversized packet stalls the head
 	alive    bool
 }
 
@@ -74,9 +75,16 @@ func Packet(inst *te.Instance, r *te.Routing, q int, opt Options) (*Result, erro
 	links := make([]linkQueue, g.NumEdges())
 	for e := range links {
 		cap := g.Edge(e).Capacity
+		bufMax := cap * opt.BufferFactor
+		// A queue that cannot hold even one packet rejects every push —
+		// another silent blackhole the fluid engine has no analogue for.
+		// Any live link buffers at least the packet in transmission.
+		if bufMax < pktSize {
+			bufMax = pktSize
+		}
 		links[e] = linkQueue{
 			capacity: cap,
-			bufMax:   cap * opt.BufferFactor,
+			bufMax:   bufMax,
 			alive:    !scen.IsFailed(e),
 		}
 	}
@@ -163,7 +171,15 @@ func Packet(inst *te.Instance, r *te.Routing, q int, opt Options) (*Result, erro
 				l.bytes = 0
 				continue
 			}
-			budget := l.capacity
+			// A packet larger than the per-tick capacity takes several
+			// ticks on the wire: the link banks unused capacity while the
+			// head of the queue stalls, instead of never transmitting (a
+			// serialization-delay model; without it any PacketSize above a
+			// link's capacity silently blackholed the link, a loss the
+			// fluid engine never accounts). Idle links bank nothing, and a
+			// tick that transmits resets the bank — so when every packet
+			// fits in one tick this is the plain budget-per-tick model.
+			budget := l.credit + l.capacity
 			n := 0
 			for _, p := range l.buf {
 				if p.size > budget {
@@ -180,6 +196,11 @@ func Packet(inst *te.Instance, r *te.Routing, q int, opt Options) (*Result, erro
 				}
 			}
 			l.buf = l.buf[n:]
+			if n > 0 || len(l.buf) == 0 {
+				l.credit = 0
+			} else {
+				l.credit = budget
+			}
 		}
 		for _, p := range staged {
 			links[p.path[p.hop]].push(p) // drop-tail if the next queue is full

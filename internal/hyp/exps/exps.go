@@ -1,0 +1,45 @@
+// Package exps holds the repository's named hypotheses (DESIGN.md §15) —
+// the seeded, re-runnable experiments behind every scale claim made since
+// PR 1. Each hypothesis declares its workload, runs it, and produces a
+// hyp.Verdict whose canonical form is checked in under hypotheses/ and
+// diffed by CI (`make hypotheses`).
+//
+// The registry:
+//
+//	h-warm-speedup       warm-started batched offline solve ≥2× cold (absorbs `make benchgate`)
+//	h-batch-amortization POST /v1/alloc/batch at batch=32 amortizes ≥3× over single GETs
+//	h-overload-shed      under overload every response is an admitted 200 or an explicit shed
+//	h-emu-fidelity       fluid/packet emulation tracks the model (the paper's Fig. 9)
+//	h-serve-soak         emulation-backed soak: delivered bandwidth from replaying a live
+//	                     flexile-serve's allocations through the emulator matches the model
+//	                     within the Fig. 9 tolerance, across a mid-soak SIGHUP reload
+package exps
+
+import (
+	"flexile/internal/hyp"
+)
+
+// All returns the repository's hypothesis registry.
+func All() (*hyp.Registry, error) {
+	return hyp.NewRegistry(
+		WarmSpeedup(),
+		BatchAmortization(),
+		OverloadShed(),
+		EmuFidelity(),
+		ServeSoak(),
+	)
+}
+
+// rng is splitmix64 — the repo-standard seeded stream (internal/chaos,
+// internal/load): tiny, fast, identical on every platform.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	x := r.s
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }

@@ -1,0 +1,49 @@
+package exps
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"flexile/internal/hyp"
+)
+
+// TestSoakDeterminism is the reproducibility contract behind checking
+// verdicts into git: the soak's canonical verdict is a pure function of
+// the seed. It runs h-serve-soak three times against three fresh daemons
+// — twice at the same worker count, once with a single-worker client pool
+// — and requires all three canonical payloads to be byte-identical. Wall
+// times, connection interleavings, and cache hit patterns all differ
+// across the runs; none of it may reach the canonical form. The runs
+// share a scratch directory so the flexile-serve build and the offline
+// artifact solve happen once.
+func TestSoakDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and soaks the real flexile-serve binary")
+	}
+	scratch := t.TempDir()
+	run := func(workers int) []byte {
+		t.Helper()
+		res := hyp.Run(context.Background(), ServeSoak(), hyp.Params{
+			Seed:    7,
+			Workers: workers,
+			Scratch: scratch,
+		})
+		if res.Err != nil {
+			t.Fatalf("soak (workers=%d): %v", workers, res.Err)
+		}
+		if !res.Verdict.Pass {
+			t.Fatalf("soak (workers=%d) failed its own checks: %+v", workers, res.Verdict.Checks)
+		}
+		return res.Verdict.Canonical()
+	}
+	first := run(8)
+	again := run(8)
+	if !bytes.Equal(first, again) {
+		t.Fatalf("two identical soaks canonicalized differently:\n%s\nvs\n%s", first, again)
+	}
+	solo := run(1)
+	if !bytes.Equal(first, solo) {
+		t.Fatalf("worker count leaked into the canonical verdict:\nworkers=8:\n%s\nworkers=1:\n%s", first, solo)
+	}
+}

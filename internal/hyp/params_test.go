@@ -1,0 +1,98 @@
+package hyp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParamsScratchAndLog covers the Params plumbing experiments lean on:
+// an explicit scratch dir is returned as-is with no cleanup (the caller
+// owns it), an empty one allocates a temp dir whose cleanup removes it,
+// and Logf writes one line to the run log.
+func TestParamsScratchAndLog(t *testing.T) {
+	own := t.TempDir()
+	dir, cleanup, err := Params{Scratch: own}.ScratchDir()
+	if err != nil || dir != own || cleanup != nil {
+		t.Fatalf("explicit scratch: dir %q cleanup-nil %v err %v, want %q true nil", dir, cleanup == nil, err, own)
+	}
+
+	dir, cleanup, err = Params{}.ScratchDir()
+	if err != nil {
+		t.Fatalf("temp scratch: %v", err)
+	}
+	if cleanup == nil {
+		t.Fatal("temp scratch returned no cleanup")
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("temp scratch %q not created: %v", dir, err)
+	}
+	cleanup()
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("cleanup left %q behind (stat err %v)", dir, err)
+	}
+
+	var log strings.Builder
+	p := Params{Log: &log}.withDefaults()
+	p.Logf("solved %d scenarios", 12)
+	if log.String() != "solved 12 scenarios\n" {
+		t.Fatalf("Logf wrote %q", log.String())
+	}
+}
+
+// TestWriteDirAndRecord covers the two persistence paths: WriteDir lays
+// down both the canonical verdict and the measurement record, and
+// WriteRecord refreshes only the record, leaving the verdict untouched.
+func TestWriteDirAndRecord(t *testing.T) {
+	h := Hypothesis{Name: "h-files", Claim: "files are written", Run: nil}
+	v := NewVerdict(h, Params{Seed: 3}.withDefaults())
+	v.Check("count", "==", 2, 2)
+	v.CheckVolatile("speedup-x", ">=", 2.5, 2)
+	v.Measure("wall-ns", 123456)
+	v.Finalize()
+
+	dir := t.TempDir()
+	if err := v.WriteDir(dir); err != nil {
+		t.Fatalf("WriteDir: %v", err)
+	}
+	verdict, err := os.ReadFile(VerdictFile(dir, "h-files"))
+	if err != nil {
+		t.Fatalf("verdict file: %v", err)
+	}
+	if string(verdict) != string(v.Canonical()) {
+		t.Error("verdict file is not the canonical payload")
+	}
+	record, err := os.ReadFile(RecordFile(dir, "h-files"))
+	if err != nil {
+		t.Fatalf("record file: %v", err)
+	}
+	if !strings.Contains(string(record), "wall-ns") || !strings.Contains(string(record), "2.5") {
+		t.Errorf("record dropped measured values:\n%s", record)
+	}
+
+	// WriteRecord into a fresh dir creates only the record.
+	dir2 := t.TempDir()
+	if err := v.WriteRecord(dir2); err != nil {
+		t.Fatalf("WriteRecord: %v", err)
+	}
+	if _, err := os.Stat(RecordFile(dir2, "h-files")); err != nil {
+		t.Fatalf("record not written: %v", err)
+	}
+	if _, err := os.Stat(VerdictFile(dir2, "h-files")); !os.IsNotExist(err) {
+		t.Fatalf("WriteRecord wrote a verdict (stat err %v)", err)
+	}
+
+	// A file where the hypothesis directory should be is an error, not a
+	// panic, on both paths.
+	blocked := filepath.Join(t.TempDir(), "flat")
+	if err := os.WriteFile(filepath.Join(blocked), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WriteDir(filepath.Join(blocked, "sub")); err == nil {
+		t.Error("WriteDir under a plain file succeeded")
+	}
+	if err := v.WriteRecord(filepath.Join(blocked, "sub")); err == nil {
+		t.Error("WriteRecord under a plain file succeeded")
+	}
+}

@@ -126,6 +126,61 @@ func fire(ctx context.Context, client *http.Client, baseURL string, rq Request, 
 	return out, nil
 }
 
+// Fetched is one query's raw response — status, the serving headers Run
+// classifies on, and the body itself. Run aggregates and discards bodies;
+// Fetch exists for callers that need them (the soak hypothesis replays
+// served allocations through the emulator and diffs them across reloads).
+type Fetched struct {
+	Status   int
+	Cache    string // X-Flexile-Cache
+	Shed     string // X-Flexile-Shed
+	Degraded bool
+	Body     []byte
+}
+
+// Fetch issues one planned single-query request and returns the raw
+// response. Batch requests have no single body to hand back; planning
+// with Batch <= 1 is the caller's job.
+func Fetch(ctx context.Context, client *http.Client, baseURL string, rq Request, cfg Config) (*Fetched, error) {
+	if len(rq.Queries) != 1 {
+		return nil, fmt.Errorf("load: Fetch wants exactly one query, got %d", len(rq.Queries))
+	}
+	q := rq.Queries[0]
+	parts := make([]string, len(q.Failed))
+	for i, e := range q.Failed {
+		parts[i] = strconv.Itoa(e)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/alloc?failed="+strings.Join(parts, ","), nil)
+	if err != nil {
+		return nil, err
+	}
+	if q.Artifact != "" {
+		req.Header.Set("X-Flexile-Artifact", q.Artifact)
+	}
+	if rq.Tenant != "" {
+		req.Header.Set("X-Tenant", rq.Tenant)
+	}
+	if cfg.Deadline > 0 {
+		req.Header.Set("X-Request-Deadline", cfg.Deadline.String())
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &Fetched{
+		Status:   resp.StatusCode,
+		Cache:    resp.Header.Get("X-Flexile-Cache"),
+		Shed:     resp.Header.Get("X-Flexile-Shed"),
+		Degraded: resp.Header.Get("X-Flexile-Degraded") != "",
+		Body:     body,
+	}, nil
+}
+
 // FetchScenarios asks a live server for an artifact's enumerated failure
 // states (GET /v1/scenarios), the input a Plan draws queries from. name ""
 // targets the server's default artifact.

@@ -1,0 +1,89 @@
+package load
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestFetch pins the single-query raw-response path the soak hypothesis
+// replays allocations through: the request line and headers Fetch sends,
+// and the status/disposition/body it hands back — including the shed and
+// degraded variants Run would have aggregated away.
+func TestFetch(t *testing.T) {
+	var got struct {
+		url, artifact, tenant, deadline string
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.url = r.URL.String()
+		got.artifact = r.Header.Get("X-Flexile-Artifact")
+		got.tenant = r.Header.Get("X-Tenant")
+		got.deadline = r.Header.Get("X-Request-Deadline")
+		switch r.Header.Get("X-Tenant") {
+		case "over-quota":
+			w.Header().Set("X-Flexile-Shed", "quota")
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case "degraded":
+			w.Header().Set("X-Flexile-Cache", "stale")
+			w.Header().Set("X-Flexile-Degraded", "stale")
+			w.Write([]byte(`{"stale":true}`))
+		default:
+			w.Header().Set("X-Flexile-Cache", "hit")
+			w.Write([]byte(`{"scenario":3}`))
+		}
+	}))
+	defer srv.Close()
+	ctx := context.Background()
+
+	f, err := Fetch(ctx, srv.Client(), srv.URL,
+		Request{Tenant: "t0", Queries: []Query{{Artifact: "ibm", Failed: []int{3, 7}}}},
+		Config{Deadline: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if got.url != "/v1/alloc?failed=3,7" {
+		t.Errorf("request URL = %q, want /v1/alloc?failed=3,7", got.url)
+	}
+	if got.artifact != "ibm" || got.tenant != "t0" || got.deadline != "250ms" {
+		t.Errorf("headers = artifact %q tenant %q deadline %q, want ibm/t0/250ms", got.artifact, got.tenant, got.deadline)
+	}
+	if f.Status != http.StatusOK || f.Cache != "hit" || f.Shed != "" || f.Degraded || string(f.Body) != `{"scenario":3}` {
+		t.Errorf("Fetched = %+v, want 200 hit with body", f)
+	}
+
+	// No artifact, no tenant, no deadline: none of the headers are sent.
+	if _, err := Fetch(ctx, srv.Client(), srv.URL, Request{Queries: []Query{{}}}, Config{}); err != nil {
+		t.Fatalf("bare Fetch: %v", err)
+	}
+	if got.url != "/v1/alloc?failed=" || got.artifact != "" || got.tenant != "" || got.deadline != "" {
+		t.Errorf("bare request leaked headers: url %q artifact %q tenant %q deadline %q", got.url, got.artifact, got.tenant, got.deadline)
+	}
+
+	f, err = Fetch(ctx, srv.Client(), srv.URL, Request{Tenant: "over-quota", Queries: []Query{{}}}, Config{})
+	if err != nil {
+		t.Fatalf("shed Fetch: %v", err)
+	}
+	if f.Status != http.StatusTooManyRequests || f.Shed != "quota" {
+		t.Errorf("shed Fetched = %+v, want 429 shed=quota", f)
+	}
+
+	f, err = Fetch(ctx, srv.Client(), srv.URL, Request{Tenant: "degraded", Queries: []Query{{}}}, Config{})
+	if err != nil {
+		t.Fatalf("degraded Fetch: %v", err)
+	}
+	if !f.Degraded || f.Cache != "stale" {
+		t.Errorf("degraded Fetched = %+v, want stale+degraded", f)
+	}
+
+	// Batch plans have no single body to return.
+	if _, err := Fetch(ctx, srv.Client(), srv.URL, Request{Queries: []Query{{}, {}}}, Config{}); err == nil {
+		t.Error("Fetch accepted a batch request")
+	}
+	// A dead server surfaces the transport error.
+	if _, err := Fetch(ctx, http.DefaultClient, "http://127.0.0.1:1", Request{Queries: []Query{{}}}, Config{}); err == nil {
+		t.Error("Fetch swallowed a connection error")
+	}
+}
