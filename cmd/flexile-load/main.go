@@ -105,6 +105,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if len(stats.FailedIDs) > 0 {
+		// The ids double as X-Request-Id on the wire, so each one names the
+		// exact server-side trace at /debug/requests (and the access-log
+		// record) for the failed sample.
+		fmt.Fprintf(os.Stderr, "flexile-load: %d errored entries; failed request ids: %s\n",
+			stats.Errors, strings.Join(stats.FailedIDs, ", "))
+	}
 	rep := stats.Report(*name)
 	rep.Meta = map[string]string{
 		"target": base,

@@ -40,8 +40,10 @@
 // Logs are structured (log/slog): human-readable text on stderr by
 // default, one JSON object per line with -logjson. Access records can be
 // sampled with -log-sample. With -debug-listen a second, admin-only
-// listener additionally serves /metrics and net/http/pprof — bind it to
-// loopback or an operations network, never the query-facing address.
+// listener additionally serves /metrics, /debug/requests (the live
+// request-trace ring, DESIGN.md §16; sample rate set by -trace-sample),
+// and net/http/pprof — bind it to loopback or an operations network,
+// never the query-facing address.
 package main
 
 import (
@@ -73,6 +75,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "emit the aggregated serving metrics as JSON on stdout at exit")
 	tracePath := flag.String("trace", "", "write a chrome://tracing timeline to this file at exit")
 	logSample := flag.Int("log-sample", 1, "log one access record per N requests (1 = every request)")
+	traceSample := flag.Int("trace-sample", serve.DefaultTraceEvery, "trace one request per N into /debug/requests (1 = every request; sampled traceparents always trace)")
 	logJSON := flag.Bool("logjson", false, "emit logs as JSON instead of text")
 	defaultDeadline := flag.Duration("default-deadline", 0, "deadline applied to requests without X-Request-Deadline (0 = none)")
 	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant sustained requests/sec, keyed on X-Tenant (0 disables quotas)")
@@ -97,12 +100,19 @@ func main() {
 	}
 	obs.SetGlobal(collector)
 
+	// The trace ring always runs too: /debug/requests should answer on a
+	// long-lived daemon even when nobody thought to enable tracing before
+	// the incident. -trace-sample only thins how many requests land in it.
+	ring := obs.NewTraceRing(0, 0, 0)
+
 	cfg := serve.Config{
 		CacheSize:        *cacheSize,
 		Workers:          *workers,
 		Obs:              collector,
 		Log:              logger,
 		LogEvery:         *logSample,
+		Ring:             ring,
+		TraceEvery:       *traceSample,
 		DefaultDeadline:  *defaultDeadline,
 		TenantRate:       *tenantRate,
 		TenantBurst:      *tenantBurst,
@@ -150,6 +160,7 @@ func main() {
 	if *debugListen != "" {
 		adminMux := http.NewServeMux()
 		adminMux.Handle("GET /metrics", srv.MetricsHandler())
+		adminMux.Handle("GET /debug/requests", srv.DebugRequestsHandler())
 		adminMux.HandleFunc("/debug/pprof/", pprof.Index)
 		adminMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		adminMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -161,7 +172,7 @@ func main() {
 				logger.Error("admin listener failed", "error", aerr.Error())
 			}
 		}()
-		logger.Info("admin listener up", "listen", *debugListen, "endpoints", "/metrics /debug/pprof")
+		logger.Info("admin listener up", "listen", *debugListen, "endpoints", "/metrics /debug/requests /debug/pprof")
 	}
 
 	select {
@@ -215,6 +226,7 @@ type service interface {
 	BeginDrain()
 	Close()
 	MetricsHandler() http.Handler
+	DebugRequestsHandler() http.Handler
 }
 
 // newLogger builds the process logger: slog text on stderr, or JSON lines

@@ -88,6 +88,7 @@ func TestScrapeEndToEnd(t *testing.T) {
 		"-debug-listen", adminAddr,
 		"-logjson",
 		"-log-sample", "2",
+		"-trace-sample", "1",
 		// Overload-resilience flags, tuned loose enough that the hammer
 		// below is never actually shed: this exercises parsing and the
 		// admission pipeline wiring, not the shedding itself.
@@ -112,12 +113,27 @@ func TestScrapeEndToEnd(t *testing.T) {
 	waitReady(t, base+"/readyz")
 
 	const hammer = 24
+	// Every other request carries a sampled W3C traceparent; the server must
+	// join it — echoing the trace id back — and record the trace in the
+	// -debug-listen ring (checked below). The i=1 request is the first
+	// failed=0 query, i.e. the one guaranteed cache miss with the full
+	// recompute timeline.
+	wantTrace := fmt.Sprintf("%032x", 2)
+	wantParent := fmt.Sprintf("%016x", 2)
 	for i := 0; i < hammer; i++ {
 		url := base + "/v1/alloc?failed=0"
 		if i%3 == 0 {
 			url = base + "/v1/alloc?failed="
 		}
-		resp, err := http.Get(url)
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traced := i%2 == 1
+		if traced {
+			req.Header.Set("traceparent", fmt.Sprintf("00-%032x-%016x-01", i+1, i+1))
+		}
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,6 +141,99 @@ func TestScrapeEndToEnd(t *testing.T) {
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("alloc %d: status %d", i, resp.StatusCode)
+		}
+		if resp.Header.Get("X-Request-Id") == "" {
+			t.Fatalf("alloc %d: no X-Request-Id echoed", i)
+		}
+		if traced {
+			if tp := resp.Header.Get("traceparent"); !strings.HasPrefix(tp, fmt.Sprintf("00-%032x-", i+1)) {
+				t.Fatalf("alloc %d: response traceparent %q dropped the sent trace id", i, tp)
+			}
+		}
+	}
+
+	// /debug/requests on the admin listener: the ring must hold the hammer
+	// traffic, and the i=1 miss must surface with its joined trace id, the
+	// parent span we sent, and a stage timeline that tiles its duration.
+	debugURL := "http://" + adminAddr + "/debug/requests"
+	var ringPage struct {
+		Total  uint64 `json:"total"`
+		Recent []struct {
+			TraceID    string `json:"trace_id"`
+			ParentSpan string `json:"parent_span"`
+			Status     int    `json:"status"`
+			DurNS      int64  `json:"dur_ns"`
+			Spans      []struct {
+				Name   string `json:"name"`
+				DurNS  int64  `json:"dur_ns"`
+				Nested bool   `json:"nested"`
+			} `json:"spans"`
+		} `json:"recent"`
+	}
+	func() {
+		resp, err := http.Get(debugURL + "?format=json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("debug requests json: status %d", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&ringPage); err != nil {
+			t.Fatalf("debug requests json: %v", err)
+		}
+	}()
+	if ringPage.Total < hammer {
+		t.Errorf("trace ring total %d, want >= %d", ringPage.Total, hammer)
+	}
+	found := false
+	for _, tr := range ringPage.Recent {
+		if tr.TraceID != wantTrace {
+			continue
+		}
+		found = true
+		if tr.ParentSpan != wantParent {
+			t.Errorf("joined trace parent_span %q, want %q", tr.ParentSpan, wantParent)
+		}
+		var tiling int64
+		names := map[string]bool{}
+		for _, sp := range tr.Spans {
+			names[sp.Name] = true
+			if !sp.Nested {
+				tiling += sp.DurNS
+			}
+		}
+		for _, want := range []string{"admit", "parse", "cache", "flight", "write", "recompute"} {
+			if !names[want] {
+				t.Errorf("miss trace lacks stage span %q (got %v)", want, names)
+			}
+		}
+		if tiling > tr.DurNS || tiling < tr.DurNS/2 {
+			t.Errorf("tiling spans sum %dns, want ~= request dur %dns", tiling, tr.DurNS)
+		}
+	}
+	if !found {
+		t.Errorf("trace %s not in the recent ring (%d entries)", wantTrace, len(ringPage.Recent))
+	}
+	for _, check := range []struct{ query, contains string }{
+		{"", "flexile request traces"},
+		{"", wantTrace},
+		{"?format=chrome", `"traceEvents"`},
+	} {
+		resp, err := http.Get(debugURL + check.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		page, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("debug requests %q: status %d", check.query, resp.StatusCode)
+		}
+		if !strings.Contains(string(page), check.contains) {
+			t.Errorf("debug requests %q missing %q", check.query, check.contains)
 		}
 	}
 
@@ -157,6 +266,13 @@ func TestScrapeEndToEnd(t *testing.T) {
 		}
 		if !strings.Contains(text, `flexile_serve_request_duration_seconds_bucket{le="+Inf"}`) {
 			t.Errorf("scrape %s missing +Inf bucket", scrapeURL)
+		}
+		// The per-stage latency families fed by the request-trace laps.
+		for _, stage := range []string{"admit", "parse", "cache", "flight", "write", "recompute"} {
+			want := fmt.Sprintf(`flexile_serve_stage_duration_seconds_bucket{stage=%q,le="+Inf"}`, stage)
+			if !strings.Contains(text, want) {
+				t.Errorf("scrape %s missing stage histogram series %q", scrapeURL, stage)
+			}
 		}
 		// The overload-resilience families: both breakers closed (0), the
 		// quota tracking the single anonymous bucket, zero sheds.
@@ -201,6 +317,15 @@ func TestScrapeEndToEnd(t *testing.T) {
 	if resp.StatusCode == http.StatusOK {
 		t.Fatal("pprof reachable on the query-facing listener")
 	}
+	resp, err = http.Get(base + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("/debug/requests reachable on the query-facing listener")
+	}
 
 	// Shut down and check the structured log stream: JSON lines, sampled
 	// access records (half of the hammer), and the lifecycle events.
@@ -219,6 +344,11 @@ func TestScrapeEndToEnd(t *testing.T) {
 		case "request":
 			if p, _ := rec["path"].(string); p == "/v1/alloc" {
 				accessRecords++
+				// The daemon runs -trace-sample 1, so every logged request
+				// should carry its trace id.
+				if tid, _ := rec["trace_id"].(string); tid == "" {
+					t.Errorf("access record without trace_id: %s", line)
+				}
 			}
 		case "artifact loaded":
 			sawLoaded = true

@@ -13,6 +13,8 @@
 //	h-serve-soak         emulation-backed soak: delivered bandwidth from replaying a live
 //	                     flexile-serve's allocations through the emulator matches the model
 //	                     within the Fig. 9 tolerance, across a mid-soak SIGHUP reload
+//	h-trace-overhead     request-scoped tracing costs <=2% on the warm-cache alloc path,
+//	                     and traces are well-formed (traceparent join, tiling stage spans)
 package exps
 
 import (
@@ -27,6 +29,7 @@ func All() (*hyp.Registry, error) {
 		OverloadShed(),
 		EmuFidelity(),
 		ServeSoak(),
+		TraceOverhead(),
 	)
 }
 

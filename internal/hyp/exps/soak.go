@@ -351,7 +351,10 @@ func fireAll(ctx context.Context, base string, reqs []load.Request, lcfg load.Co
 				case err != nil:
 					errs[i] = err
 				case f.Status != http.StatusOK || f.Degraded:
-					errs[i] = fmt.Errorf("request %d: status %d shed=%q degraded=%v", i, f.Status, f.Shed, f.Degraded)
+					// The echoed request id names the server-side trace
+					// (/debug/requests) and access-log record for this sample.
+					errs[i] = fmt.Errorf("request %d (id %s, server id %s): status %d shed=%q degraded=%v",
+						i, reqs[i].ID, f.RequestID, f.Status, f.Shed, f.Degraded)
 				default:
 					bodies[i] = f.Body
 				}

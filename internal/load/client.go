@@ -80,6 +80,10 @@ func fire(ctx context.Context, client *http.Client, baseURL string, rq Request, 
 	if rq.Tenant != "" {
 		req.Header.Set("X-Tenant", rq.Tenant)
 	}
+	if rq.ID != "" {
+		req.Header.Set("X-Request-Id", rq.ID)
+		req.Header.Set("traceparent", rq.TraceParent())
+	}
 	if cfg.Deadline > 0 {
 		req.Header.Set("X-Request-Deadline", cfg.Deadline.String())
 	}
@@ -135,7 +139,11 @@ type Fetched struct {
 	Cache    string // X-Flexile-Cache
 	Shed     string // X-Flexile-Shed
 	Degraded bool
-	Body     []byte
+	// RequestID is the server-echoed X-Request-Id — the planned rq.ID when
+	// one was sent, else the server's generated id — the handle for the
+	// server-side trace of this exact sample.
+	RequestID string
+	Body      []byte
 }
 
 // Fetch issues one planned single-query request and returns the raw
@@ -160,6 +168,10 @@ func Fetch(ctx context.Context, client *http.Client, baseURL string, rq Request,
 	if rq.Tenant != "" {
 		req.Header.Set("X-Tenant", rq.Tenant)
 	}
+	if rq.ID != "" {
+		req.Header.Set("X-Request-Id", rq.ID)
+		req.Header.Set("traceparent", rq.TraceParent())
+	}
 	if cfg.Deadline > 0 {
 		req.Header.Set("X-Request-Deadline", cfg.Deadline.String())
 	}
@@ -173,11 +185,12 @@ func Fetch(ctx context.Context, client *http.Client, baseURL string, rq Request,
 		return nil, err
 	}
 	return &Fetched{
-		Status:   resp.StatusCode,
-		Cache:    resp.Header.Get("X-Flexile-Cache"),
-		Shed:     resp.Header.Get("X-Flexile-Shed"),
-		Degraded: resp.Header.Get("X-Flexile-Degraded") != "",
-		Body:     body,
+		Status:    resp.StatusCode,
+		Cache:     resp.Header.Get("X-Flexile-Cache"),
+		Shed:      resp.Header.Get("X-Flexile-Shed"),
+		Degraded:  resp.Header.Get("X-Flexile-Degraded") != "",
+		RequestID: resp.Header.Get("X-Request-Id"),
+		Body:      body,
 	}, nil
 }
 

@@ -64,8 +64,38 @@ type Request struct {
 	At time.Duration `json:"at_ns"`
 	// Tenant is the X-Tenant header value; "" sends none.
 	Tenant string `json:"tenant,omitempty"`
+	// ID is the request's planned X-Request-Id, derived from the seed and
+	// the request's position — NOT from an rng draw, so adding ids did not
+	// shift any planned stream. The server echoes it and keys its trace
+	// ring entries by it, which is what lets a soak or chaos failure name
+	// the exact server-side trace to pull up.
+	ID string `json:"id,omitempty"`
 	// Queries has exactly one entry for single-request mode.
 	Queries []Query `json:"queries"`
+}
+
+// TraceParent renders the request's deterministic W3C traceparent header
+// (sampled flag set, so the server always records the trace). Trace and
+// span ids are a pure hash of ID; "" when the request has no ID.
+func (rq Request) TraceParent() string {
+	if rq.ID == "" {
+		return ""
+	}
+	// FNV-1a over the id seeds a splitmix stream for the three id words.
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(rq.ID); i++ {
+		h ^= uint64(rq.ID[i])
+		h *= 1099511628211
+	}
+	r := rng{s: h}
+	a, b, c := r.next(), r.next(), r.next()
+	if a == 0 && b == 0 {
+		a = 1 // trace-id all-zero is invalid per the spec
+	}
+	if c == 0 {
+		c = 1
+	}
+	return fmt.Sprintf("00-%016x%016x-%016x-01", a, b, c)
 }
 
 // Plan is a fully materialized request stream.
@@ -127,6 +157,7 @@ func BuildPlan(cfg Config) (*Plan, error) {
 			return plan, nil
 		}
 		req := Request{At: at, Queries: make([]Query, batch)}
+		req.ID = fmt.Sprintf("load-%x-%d", cfg.Seed, len(plan.Requests))
 		if cfg.Tenants > 0 {
 			req.Tenant = "load-" + strconv.Itoa(r.intn(cfg.Tenants))
 		}
@@ -168,7 +199,16 @@ type Stats struct {
 	Errors    int
 	Latencies []time.Duration
 	Elapsed   time.Duration
+	// FailedIDs holds the planned request ids (== X-Request-Id sent) of up
+	// to maxFailedIDs requests that contributed to Errors, so a failure in
+	// a seeded run names the exact server-side traces to pull up at
+	// /debug/requests.
+	FailedIDs []string
 }
+
+// maxFailedIDs caps Stats.FailedIDs; a systemic failure repeats the same
+// story, the first few ids are what an operator greps the server for.
+const maxFailedIDs = 32
 
 func (s *Stats) shedTotal() int {
 	n := 0
@@ -212,6 +252,9 @@ func Run(ctx context.Context, baseURL string, plan *Plan, cfg Config) (*Stats, e
 			stats.Latencies = append(stats.Latencies, lat)
 			if err != nil {
 				stats.Errors += len(rq.Queries)
+				if len(stats.FailedIDs) < maxFailedIDs {
+					stats.FailedIDs = append(stats.FailedIDs, rq.ID)
+				}
 				return
 			}
 			stats.OK += out.ok
@@ -221,6 +264,9 @@ func Run(ctx context.Context, baseURL string, plan *Plan, cfg Config) (*Stats, e
 			stats.Dedup += out.dedup
 			stats.Stale += out.stale
 			stats.Errors += out.errors
+			if out.errors > 0 && len(stats.FailedIDs) < maxFailedIDs {
+				stats.FailedIDs = append(stats.FailedIDs, rq.ID)
+			}
 			for k, v := range out.shed {
 				stats.Shed[k] += v
 			}

@@ -228,6 +228,29 @@ func (e *Encoder) Histogram(name, help string, s obs.HistSnapshot, scale float64
 	if !e.header(name, help, "histogram") {
 		return
 	}
+	e.histSamples(name, s, scale, labels)
+}
+
+// HistogramVec emits one histogram family with several labeled series —
+// the stage-duration family renders one full bucket scheme per stage
+// label. snaps holds one snapshot per series, labels one label set per
+// series (none of them may use the reserved "le" label).
+func (e *Encoder) HistogramVec(name, help string, snaps []obs.HistSnapshot, scale float64, labels [][]Label) {
+	if len(snaps) != len(labels) {
+		e.setErr(fmt.Errorf("expo: %s: %d snapshots for %d label sets", name, len(snaps), len(labels)))
+		return
+	}
+	if !e.header(name, help, "histogram") {
+		return
+	}
+	for i, s := range snaps {
+		e.histSamples(name, s, scale, labels[i])
+	}
+}
+
+// histSamples renders one series' cumulative _bucket lines plus _sum and
+// _count, under an already-emitted family header.
+func (e *Encoder) histSamples(name string, s obs.HistSnapshot, scale float64, labels []Label) {
 	bounds := obs.HistBounds()
 	var cum uint64
 	for i, b := range bounds {
@@ -360,6 +383,26 @@ func EncodeSolveMetrics(e *Encoder, m obs.SolveMetrics) {
 	e.Histogram("flexile_scenario_solve_duration_seconds", "Wall-clock time per Benders scenario subproblem solve.", m.Latency.ScenarioSolve, 1e-9)
 	e.Histogram("flexile_serve_request_duration_seconds", "Wall-clock time per allocation request.", m.Latency.ServeRequest, 1e-9)
 	e.Histogram("flexile_serve_queue_wait_seconds", "Time admitted recomputations spent queued on the saturated gate.", m.Latency.QueueWait, 1e-9)
+	// Per-stage request-trace laps (DESIGN.md §16): the same decomposition
+	// /debug/requests shows per request, in aggregate, one series per stage.
+	e.HistogramVec("flexile_serve_stage_duration_seconds",
+		"Wall-clock time per serve pipeline stage (request-trace laps).",
+		[]obs.HistSnapshot{
+			m.Latency.StageAdmit,
+			m.Latency.StageParse,
+			m.Latency.StageCache,
+			m.Latency.StageFlight,
+			m.Latency.StageWrite,
+			m.Latency.StageRecompute,
+		}, 1e-9,
+		[][]Label{
+			{{"stage", "admit"}},
+			{{"stage", "parse"}},
+			{{"stage", "cache"}},
+			{{"stage", "flight"}},
+			{{"stage", "write"}},
+			{{"stage", "recompute"}},
+		})
 }
 
 // WritePage renders a complete exposition page: the collector's snapshot,

@@ -251,6 +251,16 @@ const (
 	// the distribution the deadline-aware admission estimate is judged
 	// against.
 	LatQueueWait
+	// The LatStage* histograms are the per-stage request-trace families
+	// (DESIGN.md §16): each tiling stage of the serve pipeline observes
+	// its lap here, so /metrics exposes the same decomposition the
+	// per-request spans show at /debug/requests, in aggregate.
+	LatStageAdmit
+	LatStageParse
+	LatStageCache
+	LatStageFlight
+	LatStageWrite
+	LatStageRecompute
 
 	numLatencies
 )
@@ -263,6 +273,13 @@ type LatencyMetrics struct {
 	ScenarioSolve HistSnapshot `json:"scenario_solve"`
 	ServeRequest  HistSnapshot `json:"serve_request"`
 	QueueWait     HistSnapshot `json:"queue_wait"`
+	// Per-stage serve pipeline laps (DESIGN.md §16).
+	StageAdmit     HistSnapshot `json:"stage_admit"`
+	StageParse     HistSnapshot `json:"stage_parse"`
+	StageCache     HistSnapshot `json:"stage_cache"`
+	StageFlight    HistSnapshot `json:"stage_flight"`
+	StageWrite     HistSnapshot `json:"stage_write"`
+	StageRecompute HistSnapshot `json:"stage_recompute"`
 }
 
 // SolveMetrics is one solve's (or one process's) aggregated observability
@@ -577,6 +594,12 @@ func (c *Collector) Snapshot() SolveMetrics {
 	out.Latency.ScenarioSolve = c.hists[LatScenarioSolve].Snapshot()
 	out.Latency.ServeRequest = c.hists[LatServeRequest].Snapshot()
 	out.Latency.QueueWait = c.hists[LatQueueWait].Snapshot()
+	out.Latency.StageAdmit = c.hists[LatStageAdmit].Snapshot()
+	out.Latency.StageParse = c.hists[LatStageParse].Snapshot()
+	out.Latency.StageCache = c.hists[LatStageCache].Snapshot()
+	out.Latency.StageFlight = c.hists[LatStageFlight].Snapshot()
+	out.Latency.StageWrite = c.hists[LatStageWrite].Snapshot()
+	out.Latency.StageRecompute = c.hists[LatStageRecompute].Snapshot()
 	c.poolMu.Lock()
 	if len(c.workerItems) > 0 {
 		pd.WorkerItems = append([]int64(nil), c.workerItems...)

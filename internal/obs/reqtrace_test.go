@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	tc, ok := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if !ok {
+		t.Fatal("valid traceparent rejected")
+	}
+	if tc.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" || tc.SpanID != "00f067aa0ba902b7" || !tc.Sampled {
+		t.Fatalf("parsed %+v", tc)
+	}
+	if got := tc.String(); got != "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01" {
+		t.Fatalf("String round-trip: %q", got)
+	}
+	if tc, ok := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00"); !ok || tc.Sampled {
+		t.Fatalf("unsampled flag: ok=%v sampled=%v", ok, tc.Sampled)
+	}
+
+	for _, bad := range []string{
+		"",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",      // truncated
+		"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // unknown version
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",   // uppercase hex
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",   // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",   // zero span id
+		"00-4bf92f3577b34da6a3ce929d0e0e473z-00f067aa0ba902b7-01",   // non-hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7-01",   // bad separator
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-x", // trailing junk
+	} {
+		if _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("accepted malformed traceparent %q", bad)
+		}
+	}
+}
+
+func TestNewReqTraceIdentity(t *testing.T) {
+	a, b := NewReqTrace("r1"), NewReqTrace("r2")
+	for _, tr := range []*ReqTrace{a, b} {
+		tp := tr.Traceparent()
+		tc, ok := ParseTraceparent(tp)
+		if !ok {
+			t.Fatalf("minted traceparent %q does not parse", tp)
+		}
+		if tc.TraceID != tr.TraceID || tc.SpanID != tr.SpanID || !tc.Sampled {
+			t.Fatalf("traceparent %q disagrees with ids %s/%s", tp, tr.TraceID, tr.SpanID)
+		}
+	}
+	if a.TraceID == b.TraceID || a.SpanID == b.SpanID {
+		t.Fatalf("consecutive traces share ids: %s %s", a.TraceID, b.TraceID)
+	}
+
+	a.SetParent(TraceContext{TraceID: strings.Repeat("ab", 16), SpanID: strings.Repeat("cd", 8), Sampled: true})
+	if a.TraceID != strings.Repeat("ab", 16) || a.ParentSpan != strings.Repeat("cd", 8) {
+		t.Fatalf("SetParent: %s parent %s", a.TraceID, a.ParentSpan)
+	}
+	want := "00-" + strings.Repeat("ab", 16) + "-" + a.SpanID + "-01"
+	if got := a.Traceparent(); got != want {
+		t.Fatalf("joined traceparent %q, want %q", got, want)
+	}
+}
+
+func TestReqTraceFinishFreezesSpans(t *testing.T) {
+	tr := NewReqTrace("req-1")
+	base := tr.Start
+	tr.AddSpan("parse", base, base.Add(time.Millisecond), false)
+	tr.Finish(200, 42, 3, "hit", "")
+	tr.AddSpan("late", base, base.Add(time.Hour), true) // detached recompute outliving the request
+	tr.Finish(500, 0, -1, "", "quota")                  // second Finish must not win
+
+	s := tr.Snapshot()
+	if len(s.Spans) != 1 || s.Spans[0].Name != "parse" {
+		t.Fatalf("spans after Finish: %+v", s.Spans)
+	}
+	if s.Status != 200 || s.Bytes != 42 || s.Scenario != 3 || s.Cache != "hit" || s.Shed != "" {
+		t.Fatalf("summary did not latch first Finish: %+v", s)
+	}
+	if s.Dur <= 0 {
+		t.Fatalf("finished trace has dur %v", s.Dur)
+	}
+
+	// Nil receivers are no-ops (untraced requests share the code path).
+	var nilTrace *ReqTrace
+	nilTrace.AddSpan("x", base, base, false)
+	nilTrace.Finish(0, 0, 0, "", "")
+}
+
+func TestReqTraceConcurrentSpans(t *testing.T) {
+	tr := NewReqTrace("req-conc")
+	base := tr.Start
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr.AddSpan(fmt.Sprintf("g%d-%d", g, i), base, base.Add(time.Duration(i)*time.Microsecond), g%2 == 0)
+			}
+		}(g)
+	}
+	// Snapshots race the writers on purpose: they must observe a
+	// well-formed prefix, never a torn span.
+	for i := 0; i < 20; i++ {
+		s := tr.Snapshot()
+		for _, sp := range s.Spans {
+			if sp.Name == "" {
+				t.Fatal("torn span in snapshot")
+			}
+		}
+	}
+	wg.Wait()
+	tr.Finish(200, 0, 0, "hit", "")
+	if n := len(tr.Snapshot().Spans); n != 8*50 {
+		t.Fatalf("recorded %d spans, want %d", n, 8*50)
+	}
+}
+
+func TestSnapshotTraceEvents(t *testing.T) {
+	tr := NewReqTrace("req-ev")
+	tr.Method, tr.Path = "GET", "/v1/alloc"
+	base := tr.Start
+	tr.AddSpan("cache", base, base.Add(2*time.Millisecond), false)
+	tr.AddSpan("recompute", base, base.Add(time.Millisecond), true)
+	tr.Finish(200, 10, 1, "miss", "")
+	evs := tr.Snapshot().TraceEvents(base.Add(-time.Second), 7)
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	if evs[0].Cat != "request" || evs[0].Name != "GET /v1/alloc" || evs[0].TID != 7 {
+		t.Fatalf("request event: %+v", evs[0])
+	}
+	if evs[1].Cat != "stage" || evs[2].Cat != "stage.nested" {
+		t.Fatalf("span cats: %s %s", evs[1].Cat, evs[2].Cat)
+	}
+	if evs[1].TS != evs[0].TS || evs[1].Dur != 2000 {
+		t.Fatalf("stage timing: ts %d vs %d, dur %d", evs[1].TS, evs[0].TS, evs[1].Dur)
+	}
+	if _, err := json.Marshal(evs); err != nil {
+		t.Fatalf("events not marshalable: %v", err)
+	}
+}
+
+// TestTracerConcurrentRecord exercises the Span API and the batch Record
+// bridge from concurrent goroutines; the race detector is the assertion.
+func TestTracerConcurrentRecord(t *testing.T) {
+	tracer := NewTracer()
+	col := New()
+	col.AttachTracer(tracer)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				end := col.Span(fmt.Sprintf("solve-%d-%d", g, i), int64(g))
+				end()
+				tr := NewReqTrace(fmt.Sprintf("r-%d-%d", g, i))
+				tr.Finish(200, 0, 0, "hit", "")
+				tracer.RecordRequest(tr.Snapshot())
+			}
+		}(g)
+	}
+	wg.Wait()
+	var buf strings.Builder
+	if err := tracer.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var out struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &out); err != nil {
+		t.Fatalf("timeline not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) != 4*25*2 {
+		t.Fatalf("timeline has %d events, want %d", len(out.TraceEvents), 4*25*2)
+	}
+}

@@ -154,6 +154,11 @@ func serveBatch(w http.ResponseWriter, r *http.Request, res artifactResolver, cf
 			col.ObserveLatency(obs.LatServeRequest, time.Since(start))
 		}
 	}()
+	// The top-level lapper tiles the serial phases of the batch (parse →
+	// admit → flight barrier → write); each stage-2 group records its own
+	// nested spans from its goroutine.
+	tr := obs.ReqTraceFrom(r.Context())
+	lap := &lapper{tr: tr, col: col, last: start}
 
 	body, rerr := io.ReadAll(io.LimitReader(r.Body, maxBatchBody+1))
 	if rerr != nil {
@@ -173,6 +178,7 @@ func serveBatch(w http.ResponseWriter, r *http.Request, res artifactResolver, cf
 		writeError(w, http.StatusBadRequest, derr.Error())
 		return
 	}
+	lap.Lap("parse", obs.LatStageParse)
 	top.BatchEntries = int64(len(req.Queries))
 	tenant := r.Header.Get("X-Tenant")
 
@@ -224,6 +230,7 @@ func serveBatch(w http.ResponseWriter, r *http.Request, res artifactResolver, cf
 		}
 		g.members = append(g.members, i)
 	}
+	lap.Lap("admit", obs.LatStageAdmit)
 
 	// Stage 2 (concurrent): one allocate per unique group; the per-server
 	// gate still bounds actual recomputation concurrency, so a wide batch
@@ -233,10 +240,12 @@ func serveBatch(w http.ResponseWriter, r *http.Request, res artifactResolver, cf
 		wg.Add(1)
 		go func(g *batchGroup) {
 			defer wg.Done()
-			g.res = g.srv.allocate(waitCtx, g.srv.st.load(), g.req, deadline, &g.d)
+			glap := &lapper{tr: tr, col: col, last: time.Now(), nested: true, tag: failedKey(g.req.Failed)}
+			g.res = g.srv.allocate(waitCtx, g.srv.st.load(), g.req, deadline, &g.d, glap)
 		}(g)
 	}
 	wg.Wait()
+	lap.Lap("flight", obs.LatStageFlight)
 
 	for _, g := range order {
 		d := perSrv[g.srv]
@@ -273,6 +282,7 @@ func serveBatch(w http.ResponseWriter, r *http.Request, res artifactResolver, cf
 
 	w.Header().Set("Content-Type", "application/json")
 	writeBatchResponse(w, entries)
+	lap.Lap("write", obs.LatStageWrite)
 }
 
 // writeBatchResponse streams the envelope, splicing each entry's cached

@@ -81,6 +81,7 @@ type Registry struct {
 
 	reloadMu sync.Mutex // serializes directory rescans
 	draining atomic.Bool
+	traceSeq atomic.Int64
 }
 
 // NewRegistry scans dir for *.flxa files and loads every one. Startup is
@@ -266,9 +267,18 @@ func (r *Registry) handleDefault(w http.ResponseWriter, req *http.Request) {
 
 // handleBatch serves POST /v1/alloc/batch across artifacts: each query
 // names its artifact (or rides the default rule), and metrics flush into
-// each resolved server's child collector.
+// each resolved server's child collector. The fleet batch endpoint never
+// reaches a child Server's ServeHTTP, so the registry runs the request-id
+// and trace bracket itself (the ring is shared with every child).
 func (r *Registry) handleBatch(w http.ResponseWriter, req *http.Request) {
-	serveBatch(w, req, r, r.cfg)
+	_, tr, req2 := beginRequest(r.cfg, &r.traceSeq, w, req)
+	if tr == nil {
+		serveBatch(w, req2, r, r.cfg)
+		return
+	}
+	rec := &accessRecorder{ResponseWriter: w, scenario: -1, cache: "none"}
+	serveBatch(rec, req2, r, r.cfg)
+	endRequest(r.cfg, tr, rec)
 }
 
 func (r *Registry) handleHealth(w http.ResponseWriter, _ *http.Request) {

@@ -102,7 +102,29 @@ type Config struct {
 	// is its own default. Empty means: the sole artifact when the
 	// registry holds exactly one, otherwise named addressing is required.
 	DefaultArtifact string
+
+	// --- request-scoped tracing (DESIGN.md §16) ---
+
+	// Ring receives finished request traces and backs GET /debug/requests.
+	// Nil disables request tracing entirely (requests still get an
+	// X-Request-Id). A Registry shares one ring across its artifact
+	// servers.
+	Ring *obs.TraceRing
+	// TraceEvery samples request tracing: n > 1 traces one request in
+	// every n, 1 (or any negative value) traces every request, and 0
+	// picks DefaultTraceEvery — sampling is the h-trace-overhead budget's
+	// lever, amortizing the per-trace cost below 2% of a warm-cache hit.
+	// An incoming traceparent with the sampled flag always forces tracing
+	// regardless of TraceEvery.
+	TraceEvery int
 }
+
+// DefaultTraceEvery is the production trace sampling rate: one request in
+// every 16 (plus every request arriving with a sampled traceparent). Dense
+// enough that /debug/requests is always populated on a busy server, sparse
+// enough that tracing stays within its ≤2% warm-path overhead budget
+// (hypotheses/h-trace-overhead).
+const DefaultTraceEvery = 16
 
 func (c Config) maxBatch() int {
 	switch {
@@ -171,6 +193,7 @@ type Server struct {
 	reloading atomic.Bool // true while a (re)load is decoding — /readyz says 503
 	draining  atomic.Bool // true after BeginDrain — /readyz says 503 for LB drain
 	logSeq    atomic.Int64
+	traceSeq  atomic.Int64
 	st        atomicState
 }
 
@@ -265,44 +288,42 @@ func (a *accessRecorder) Write(b []byte) (int, error) {
 	return n, err
 }
 
-// ServeHTTP implements http.Handler. With logging configured it emits one
-// structured access record per sampled request, propagating or generating
-// an X-Request-Id; with cfg.Log nil it is a straight dispatch.
+// ServeHTTP implements http.Handler. Every request gets an X-Request-Id
+// (the caller's, else a generated one) echoed in the response, tracing or
+// logging configured or not, so shed responses stay correlatable. Sampled
+// requests additionally get a request trace (Config.Ring, DESIGN.md §16)
+// and, with logging configured, one structured access record per LogEvery.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rid, tr, r2 := beginRequest(s.cfg, &s.traceSeq, w, r)
 	lg := s.cfg.Log
-	if lg == nil {
-		s.mux.ServeHTTP(w, r)
+	logged := lg != nil && (s.cfg.LogEvery <= 1 || s.logSeq.Add(1)%int64(s.cfg.LogEvery) == 0)
+	if !logged && tr == nil {
+		s.mux.ServeHTTP(w, r2)
 		return
 	}
-	rid := r.Header.Get("X-Request-Id")
-	if n := s.cfg.LogEvery; n > 1 && s.logSeq.Add(1)%int64(n) != 0 {
-		// Unsampled: still echo a caller-supplied request id for tracing.
-		if rid != "" {
-			w.Header().Set("X-Request-Id", rid)
-		}
-		s.mux.ServeHTTP(w, r)
-		return
-	}
-	if rid == "" {
-		rid = nextRequestID()
-	}
-	w.Header().Set("X-Request-Id", rid)
 	rec := &accessRecorder{ResponseWriter: w, scenario: -1, cache: "none"}
 	start := time.Now()
-	s.mux.ServeHTTP(rec, r)
+	s.mux.ServeHTTP(rec, r2)
 	if rec.status == 0 {
 		rec.status = http.StatusOK
 	}
-	lg.LogAttrs(r.Context(), slog.LevelInfo, "request",
-		slog.String("request_id", rid),
-		slog.String("method", r.Method),
-		slog.String("path", r.URL.Path),
-		slog.Int("scenario", rec.scenario),
-		slog.String("cache", rec.cache),
-		slog.Int("status", rec.status),
-		slog.Int("bytes", rec.bytes),
-		slog.Duration("dur", time.Since(start)),
-	)
+	if logged {
+		attrs := []slog.Attr{
+			slog.String("request_id", rid),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("scenario", rec.scenario),
+			slog.String("cache", rec.cache),
+			slog.Int("status", rec.status),
+			slog.Int("bytes", rec.bytes),
+			slog.Duration("dur", time.Since(start)),
+		}
+		if tr != nil {
+			attrs = append(attrs, slog.String("trace_id", tr.TraceID))
+		}
+		lg.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+	}
+	endRequest(s.cfg, tr, rec)
 }
 
 // ErrReloadSuppressed wraps reload attempts short-circuited by the open
@@ -776,20 +797,26 @@ type allocResult struct {
 //
 // Disposition counters accumulate into d (the caller flushes them), so one
 // batch request can account many queries with a single collector add.
-func (s *Server) allocate(waitCtx context.Context, st *state, req *AllocRequest, deadline time.Duration, d *obs.ServeMetrics) allocResult {
+func (s *Server) allocate(waitCtx context.Context, st *state, req *AllocRequest, deadline time.Duration, d *obs.ServeMetrics, lap *lapper) allocResult {
 	key := failedKey(req.Failed)
 	q, ok := st.scenIndex[key]
 	if !ok {
 		d.BadRequests++
+		lap.Lap("cache", obs.LatStageCache)
 		return allocResult{status: http.StatusNotFound, scenario: -1,
 			errMsg: fmt.Sprintf("no enumerated scenario matches failed edges %v", req.Failed)}
 	}
 
 	if body, ok := st.cache.get(q); ok {
 		d.CacheHits++
+		lap.Lap("cache", obs.LatStageCache)
 		return allocResult{status: http.StatusOK, scenario: q, cache: "hit", body: body}
 	}
 	d.CacheMisses++
+	lap.Lap("cache", obs.LatStageCache)
+	// Everything from here to the return — admission, breaker, and the
+	// single-flight wait — is the "flight" stage.
+	defer lap.Lap("flight", obs.LatStageFlight)
 
 	// Deadline-aware admission: a miss that would queue past its deadline
 	// is refused now, while the refusal is still cheap, instead of
@@ -821,7 +848,7 @@ func (s *Server) allocate(waitCtx context.Context, st *state, req *AllocRequest,
 	// the computation other waiters are riding (or waste the solve — the
 	// result still lands in the cache).
 	body, cerr, shared := st.flight.DoDetached(waitCtx, q, func() ([]byte, error) {
-		return s.recompute(st, q, key)
+		return s.recompute(st, q, key, lap.tr)
 	})
 	if shared {
 		d.FlightShared++
@@ -885,27 +912,40 @@ func (s *Server) writeResult(w http.ResponseWriter, rec *accessRecorder, res all
 //  4. allocate: lookup → cache → deadline admission → breaker → flight
 func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	col := s.cfg.collector()
 	var d obs.ServeMetrics
 	d.Requests = 1
 	defer func() {
-		if c := s.cfg.collector(); c != nil {
-			c.AddServe(d)
-			c.ObserveLatency(obs.LatServeRequest, time.Since(start))
+		if col != nil {
+			col.AddServe(d)
+			col.ObserveLatency(obs.LatServeRequest, time.Since(start))
 		}
 	}()
-	rec, _ := w.(*accessRecorder) // non-nil only on sampled, logged requests
+	rec, _ := w.(*accessRecorder) // non-nil only on logged or traced requests
+	lap := &lapper{tr: obs.ReqTraceFrom(r.Context()), col: col, last: start}
+	finish := func(res allocResult) {
+		if rec != nil && res.scenario >= 0 {
+			rec.scenario = res.scenario
+		}
+		s.writeResult(w, rec, res)
+		lap.Lap("write", obs.LatStageWrite)
+	}
 
 	if ok, retry := s.quota.Allow(r.Header.Get("X-Tenant")); !ok {
 		d.QuotaRejects = 1
-		writeShed(w, http.StatusTooManyRequests, "quota", retry, "tenant quota exceeded")
+		lap.Lap("admit", obs.LatStageAdmit)
+		finish(allocResult{status: http.StatusTooManyRequests, scenario: -1, shed: "quota", retry: retry,
+			errMsg: "tenant quota exceeded"})
 		return
 	}
 	deadline, derr := admit.ParseDeadline(r.Header.Get("X-Request-Deadline"), s.cfg.DefaultDeadline)
 	if derr != nil {
 		d.BadRequests = 1
-		writeError(w, http.StatusBadRequest, derr.Error())
+		lap.Lap("admit", obs.LatStageAdmit)
+		finish(allocResult{status: http.StatusBadRequest, scenario: -1, errMsg: derr.Error()})
 		return
 	}
+	lap.Lap("admit", obs.LatStageAdmit)
 
 	var req *AllocRequest
 	var err error
@@ -913,7 +953,8 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 		body, rerr := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
 		if rerr != nil {
 			d.BadRequests = 1
-			writeError(w, http.StatusBadRequest, "reading body: "+rerr.Error())
+			lap.Lap("parse", obs.LatStageParse)
+			finish(allocResult{status: http.StatusBadRequest, scenario: -1, errMsg: "reading body: " + rerr.Error()})
 			return
 		}
 		req, err = ParseRequest(body)
@@ -922,9 +963,11 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		d.BadRequests = 1
-		writeError(w, http.StatusBadRequest, err.Error())
+		lap.Lap("parse", obs.LatStageParse)
+		finish(allocResult{status: http.StatusBadRequest, scenario: -1, errMsg: err.Error()})
 		return
 	}
+	lap.Lap("parse", obs.LatStageParse)
 
 	waitCtx := r.Context()
 	if deadline > 0 {
@@ -932,11 +975,7 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 		waitCtx, cancel = context.WithDeadline(waitCtx, start.Add(deadline))
 		defer cancel()
 	}
-	res := s.allocate(waitCtx, s.st.load(), req, deadline, &d)
-	if rec != nil && res.scenario >= 0 {
-		rec.scenario = res.scenario
-	}
-	s.writeResult(w, rec, res)
+	finish(s.allocate(waitCtx, s.st.load(), req, deadline, &d, lap))
 }
 
 // serveDegraded answers from the last-known-good store: HTTP 200 with the
@@ -958,8 +997,10 @@ func (s *Server) serveDegraded(w http.ResponseWriter, rec *accessRecorder, body 
 // fills both the per-artifact cache and the last-known-good store — side
 // effects that land even if every waiter has already given up. Counters
 // are flushed directly to the collector because the executor can outlive
-// the request whose handler spawned it.
-func (s *Server) recompute(st *state, q int, key string) ([]byte, error) {
+// the request whose handler spawned it; tr is the leading waiter's trace
+// (possibly nil) and receives nested queue/recompute spans, which no-op
+// if that request has already finished.
+func (s *Server) recompute(st *state, q int, key string, tr *obs.ReqTrace) ([]byte, error) {
 	col := s.cfg.collector()
 	if !s.gate.TryEnter() {
 		if col != nil {
@@ -978,6 +1019,7 @@ func (s *Server) recompute(st *state, q int, key string) ([]byte, error) {
 		if col != nil {
 			col.ObserveLatency(obs.LatQueueWait, time.Since(queued))
 		}
+		tr.AddSpan("queue", queued, time.Now(), true)
 	}
 	entered := time.Now()
 	defer func() {
@@ -1003,6 +1045,11 @@ func (s *Server) recompute(st *state, q int, key string) ([]byte, error) {
 		body, cerr = computeAlloc(st, q)
 		return cerr
 	}()
+	solved := time.Now()
+	if col != nil {
+		col.ObserveLatency(obs.LatStageRecompute, solved.Sub(entered))
+	}
+	tr.AddSpan("recompute", entered, solved, true)
 	if err != nil {
 		tripped := s.compBreaker.Failure()
 		if col != nil {
